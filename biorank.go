@@ -1,0 +1,318 @@
+// Package biorank is a reproduction of "Integrating and Ranking Uncertain
+// Scientific Data" (Detwiler, Gatterbauer, Louie, Suciu, Tarczy-Hornoch;
+// UW-CSE-08-06-03 / ICDE 2009): a mediator-based data-integration system
+// that models the uncertainty of scientific data as probabilities,
+// represents integrated data as a probabilistic entity graph, answers
+// exploratory queries, and ranks the answers by five relevance semantics —
+// reliability, propagation, diffusion (probabilistic) and InEdge,
+// PathCount (deterministic).
+//
+// This package is the public facade. Two entry points:
+//
+//   - NewDemoSystem / NewHypotheticalSystem build fully populated
+//     synthetic integration worlds (the paper's evaluation scenarios) and
+//     answer protein-function queries end to end;
+//   - NewGraph lets callers assemble their own probabilistic entity graph
+//     (Definition 2.1) and rank reachable answers directly.
+//
+// The heavy lifting lives in internal/: graph, er (mediated schema +
+// Theorem 3.2), prob (uncertainty→probability transforms), bio, sources
+// (the eleven databases plus BLAST-like and profile matchers), mediator,
+// query, rank (the five semantics), metrics (tie-aware average
+// precision), synth (scenario worlds) and experiments (every table and
+// figure of the evaluation).
+package biorank
+
+import (
+	"fmt"
+
+	"biorank/internal/bio"
+	"biorank/internal/graph"
+	"biorank/internal/mediator"
+	"biorank/internal/metrics"
+	"biorank/internal/query"
+	"biorank/internal/rank"
+	"biorank/internal/synth"
+)
+
+// Method selects a ranking semantics.
+type Method string
+
+// The five ranking methods of Section 3.
+const (
+	Reliability Method = "reliability"
+	Propagation Method = "propagation"
+	Diffusion   Method = "diffusion"
+	InEdge      Method = "inedge"
+	PathCount   Method = "pathcount"
+)
+
+// Methods lists all five ranking methods in the paper's display order.
+func Methods() []Method {
+	return []Method{Reliability, Propagation, Diffusion, InEdge, PathCount}
+}
+
+// Options tune ranking evaluation.
+type Options struct {
+	// Trials is the Monte Carlo trial count for Reliability (0 means the
+	// paper's 10,000, derived from Theorem 3.1).
+	Trials int
+	// Seed makes Reliability runs reproducible.
+	Seed uint64
+	// Reduce applies the Section 3.1.2 graph reductions before Monte
+	// Carlo simulation (the paper's fastest configuration).
+	Reduce bool
+	// Exact computes Reliability exactly (closed solution with factoring
+	// fallback) instead of by simulation.
+	Exact bool
+}
+
+// ranker builds the rank.Ranker for a method.
+func (o Options) ranker(m Method) (rank.Ranker, error) {
+	switch m {
+	case Reliability:
+		if o.Exact {
+			return rank.Exact{}, nil
+		}
+		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce}, nil
+	case Propagation:
+		return &rank.Propagation{}, nil
+	case Diffusion:
+		return &rank.Diffusion{}, nil
+	case InEdge:
+		return rank.InEdge{}, nil
+	case PathCount:
+		return rank.PathCount{}, nil
+	default:
+		return nil, fmt.Errorf("biorank: unknown method %q", m)
+	}
+}
+
+// Record identifies a record added to a Graph.
+type Record = graph.NodeID
+
+// Graph is a probabilistic entity graph under construction (Definition
+// 2.1): records with presence probabilities connected by links with
+// correctness probabilities.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty probabilistic entity graph.
+func NewGraph() *Graph {
+	return &Graph{g: graph.New(16, 32)}
+}
+
+// AddRecord adds a data record of the given entity set with probability
+// p ∈ [0,1] that the record is correct.
+func (g *Graph) AddRecord(kind, label string, p float64) Record {
+	return g.g.AddNode(kind, label, p)
+}
+
+// AddLink adds a directed relationship instance with probability
+// q ∈ [0,1] that the link is correct.
+func (g *Graph) AddLink(from, to Record, q float64) {
+	g.g.AddEdge(from, to, "link", q)
+}
+
+// Explore runs the exploratory query (inputKind.label = keyword,
+// {outputKinds...}) of Definition 2.2 against the graph and returns the
+// ranked answer set handle.
+func (g *Graph) Explore(keyword, inputKind string, outputKinds ...string) (*Answers, error) {
+	q := query.Exploratory{
+		InputKind:   inputKind,
+		Match:       func(n graph.Node) bool { return n.Label == keyword },
+		OutputKinds: outputKinds,
+		Keyword:     keyword,
+	}
+	qg, err := q.Run(g.g)
+	if err != nil {
+		return nil, err
+	}
+	return &Answers{qg: qg}, nil
+}
+
+// Answers is the answer set of an exploratory query, ready for ranking.
+type Answers struct {
+	qg *graph.QueryGraph
+}
+
+// Len returns the number of answers.
+func (a *Answers) Len() int { return len(a.qg.Answers) }
+
+// GraphSize returns the query graph's size (nodes, edges).
+func (a *Answers) GraphSize() (nodes, edges int) {
+	return a.qg.NumNodes(), a.qg.NumEdges()
+}
+
+// MarshalJSON serializes the underlying probabilistic query graph, so
+// query results can be persisted and reloaded without re-running the
+// integration.
+func (a *Answers) MarshalJSON() ([]byte, error) {
+	return a.qg.MarshalJSON()
+}
+
+// UnmarshalJSON reloads a previously serialized query graph.
+func (a *Answers) UnmarshalJSON(data []byte) error {
+	qg := &graph.QueryGraph{}
+	if err := qg.UnmarshalJSON(data); err != nil {
+		return err
+	}
+	a.qg = qg
+	return nil
+}
+
+// DOT renders the query graph in Graphviz format for inspection.
+func (a *Answers) DOT(name string) string {
+	return a.qg.DOT(name)
+}
+
+// ScoredAnswer is one ranked answer: its identity, relevance score, and
+// the 1-based rank interval it can occupy under tie breaking.
+type ScoredAnswer struct {
+	Kind  string
+	Label string
+	Score float64
+	// RankLo and RankHi bound the answer's rank across tie-breakings
+	// (equal when the score is unique).
+	RankLo, RankHi int
+}
+
+// Rank scores every answer with the chosen method and returns them in
+// descending score order (ties in input order).
+func (a *Answers) Rank(m Method, o Options) ([]ScoredAnswer, error) {
+	r, err := o.ranker(m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Rank(a.qg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScoredAnswer, len(a.qg.Answers))
+	for i, id := range a.qg.Answers {
+		n := a.qg.Node(id)
+		lo, hi := metrics.RankInterval(res.Scores, i)
+		out[i] = ScoredAnswer{Kind: n.Kind, Label: n.Label, Score: res.Scores[i], RankLo: lo, RankHi: hi}
+	}
+	sortByScore(out)
+	return out, nil
+}
+
+func sortByScore(xs []ScoredAnswer) {
+	// insertion sort is stable and the lists are short (≤ a few hundred)
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j].Score > xs[j-1].Score; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// AveragePrecision computes the tie-aware average precision (Section 4)
+// of a scored answer list against a relevance predicate.
+func AveragePrecision(answers []ScoredAnswer, relevant func(label string) bool) float64 {
+	items := make([]metrics.Item, len(answers))
+	for i, a := range answers {
+		items[i] = metrics.Item{Label: a.Label, Score: a.Score, Relevant: relevant(a.Label)}
+	}
+	return metrics.AveragePrecision(items)
+}
+
+// RandomAP is the expected average precision of a randomly ordered list
+// with k relevant among n items (Definition 4.1) — the baseline every
+// ranking method must beat.
+func RandomAP(k, n int) float64 { return metrics.RandomAP(k, n) }
+
+// System is a fully populated BioRank instance: eleven integrated
+// sources behind a mediator, queried by protein name.
+type System struct {
+	world *synth.World
+	med   *mediator.Mediator
+}
+
+// NewDemoSystem builds the synthetic world behind the paper's scenarios
+// 1 and 2: the twenty well-studied proteins of Table 1 (ABCC8, CFTR,
+// ...), with well-known, emerging and spurious candidate functions
+// planted per the paper's counts.
+func NewDemoSystem(seed uint64) (*System, error) {
+	return newSystem(synth.NewScenario12(seed))
+}
+
+// NewHypotheticalSystem builds the scenario-3 world: the eleven
+// hypothetical bacterial proteins of Table 3.
+func NewHypotheticalSystem(seed uint64) (*System, error) {
+	return newSystem(synth.NewScenario3(seed))
+}
+
+// NewFullSystem builds a compact world in which all eleven sources of
+// the paper's Section 2 table are populated and integrated (EntrezGene,
+// EntrezProtein, AmiGO, NCBIBlast, Pfam, TIGRFAM, UniProt, PIRSF, CDD,
+// SuperFamily, PDB).
+func NewFullSystem(seed uint64) (*System, error) {
+	return newSystem(synth.NewExtendedWorld(seed))
+}
+
+// Sources lists the names of the data sources integrated by this
+// system.
+func (s *System) Sources() []string {
+	return s.world.Registry.Names()
+}
+
+func newSystem(w *synth.World) (*System, error) {
+	med, err := w.Mediator()
+	if err != nil {
+		return nil, err
+	}
+	return &System{world: w, med: med}, nil
+}
+
+// Proteins returns the query proteins the system knows about.
+func (s *System) Proteins() []string {
+	out := make([]string, len(s.world.Cases))
+	for i, c := range s.world.Cases {
+		out[i] = c.Protein
+	}
+	return out
+}
+
+// GoldenFunctions returns the reference (iProClass-style) functions of a
+// protein — the golden standard used to evaluate rankings.
+func (s *System) GoldenFunctions(protein string) []string {
+	var out []string
+	for _, t := range s.world.Golden.Functions(protein) {
+		out = append(out, string(t))
+	}
+	return out
+}
+
+// EmergingFunctions returns the planted newly-discovered functions of a
+// protein (empty for most).
+func (s *System) EmergingFunctions(protein string) []string {
+	for _, c := range s.world.Cases {
+		if c.Protein == protein {
+			out := make([]string, len(c.Emerging))
+			for i, t := range c.Emerging {
+				out[i] = string(t)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Query runs the exploratory query (EntrezProtein.name = protein,
+// {AmiGO}) end to end and returns the candidate-function answer set.
+func (s *System) Query(protein string) (*Answers, error) {
+	qg, err := s.med.Explore(protein)
+	if err != nil {
+		return nil, err
+	}
+	return &Answers{qg: qg}, nil
+}
+
+// FunctionName returns a human-readable name for a GO term identifier
+// (real names for the terms the paper mentions, a generic description
+// for synthetic ones).
+func FunctionName(goID string) string {
+	return bio.TermName(bio.TermID(goID))
+}

@@ -1,0 +1,149 @@
+package biorank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGraphFacadeEndToEnd(t *testing.T) {
+	g := NewGraph()
+	p := g.AddRecord("Protein", "P1", 1)
+	f1 := g.AddRecord("Function", "F1", 1)
+	f2 := g.AddRecord("Function", "F2", 1)
+	mid := g.AddRecord("Gene", "G1", 0.8)
+	g.AddLink(p, mid, 0.9)
+	g.AddLink(mid, f1, 1)
+	g.AddLink(p, f2, 0.1)
+
+	ans, err := g.Explore("P1", "Protein", "Function")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 2 {
+		t.Fatalf("want 2 answers, got %d", ans.Len())
+	}
+	scored, err := ans.Rank(Reliability, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored[0].Label != "F1" {
+		t.Fatalf("F1 (0.72) should outrank F2 (0.1): %+v", scored)
+	}
+	if math.Abs(scored[0].Score-0.9*0.8) > 1e-9 {
+		t.Fatalf("F1 score %v, want 0.72", scored[0].Score)
+	}
+	if scored[0].RankLo != 1 || scored[0].RankHi != 1 {
+		t.Fatalf("unique top rank expected: %+v", scored[0])
+	}
+}
+
+func TestAllMethodsRunOnFacadeGraph(t *testing.T) {
+	g := NewGraph()
+	p := g.AddRecord("P", "x", 1)
+	f := g.AddRecord("F", "f", 1)
+	g.AddLink(p, f, 0.5)
+	ans, err := g.Explore("x", "P", "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		scored, err := ans.Rank(m, Options{Trials: 500, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(scored) != 1 {
+			t.Fatalf("%s: wrong answer count", m)
+		}
+	}
+	if _, err := ans.Rank(Method("bogus"), Options{}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestDemoSystemQuery(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prots := sys.Proteins()
+	if len(prots) != 20 || prots[0] != "ABCC8" {
+		t.Fatalf("proteins = %v", prots)
+	}
+	ans, err := sys.Query("ABCC8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 97 {
+		t.Fatalf("ABCC8 should have 97 candidate functions, got %d", ans.Len())
+	}
+	golden := sys.GoldenFunctions("ABCC8")
+	if len(golden) != 13 {
+		t.Fatalf("ABCC8 should have 13 golden functions, got %d", len(golden))
+	}
+	emerging := sys.EmergingFunctions("ABCC8")
+	if len(emerging) != 3 {
+		t.Fatalf("ABCC8 should have 3 emerging functions, got %d", len(emerging))
+	}
+	if len(sys.EmergingFunctions("GALT")) != 0 {
+		t.Fatal("GALT has no emerging functions")
+	}
+
+	scored, err := ans.Rank(Reliability, Options{Trials: 2000, Seed: 7, Reduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[string]bool{}
+	for _, f := range golden {
+		goldenSet[f] = true
+	}
+	ap := AveragePrecision(scored, func(l string) bool { return goldenSet[l] })
+	if ap < RandomAP(13, 97)+0.2 {
+		t.Fatalf("reliability AP %v barely beats random", ap)
+	}
+	// Answers must come back sorted.
+	for i := 1; i < len(scored); i++ {
+		if scored[i].Score > scored[i-1].Score {
+			t.Fatal("answers not sorted by score")
+		}
+	}
+}
+
+func TestHypotheticalSystem(t *testing.T) {
+	sys, err := NewHypotheticalSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Proteins()) != 11 {
+		t.Fatalf("want 11 hypothetical proteins, got %d", len(sys.Proteins()))
+	}
+	ans, err := sys.Query("DP0843")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Len() != 47 {
+		t.Fatalf("DP0843 should have 47 candidates, got %d", ans.Len())
+	}
+	nodes, edges := ans.GraphSize()
+	if nodes == 0 || edges == 0 {
+		t.Fatal("empty query graph")
+	}
+}
+
+func TestQueryUnknownProtein(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query("NOPE"); err == nil {
+		t.Fatal("unknown protein accepted")
+	}
+}
+
+func TestRandomAPFacade(t *testing.T) {
+	if RandomAP(5, 5) != 1 {
+		t.Fatal("RandomAP(5,5) should be 1")
+	}
+	if RandomAP(1, 100) > 0.1 {
+		t.Fatal("RandomAP(1,100) should be small")
+	}
+}

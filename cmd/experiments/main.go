@@ -1,0 +1,162 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments table1 table2 table3 fig4 fig5 fig6 fig7 fig8
+//	experiments all
+//	experiments -quick all   # reduced trial counts for a fast pass
+//
+// Output is printed as fixed-width text tables with the paper's reported
+// values alongside for comparison; EXPERIMENTS.md is generated from this
+// command's output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"biorank/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "reduced trials/repeats for a fast pass")
+		seed    = flag.Uint64("seed", 1, "world and simulation seed")
+		trials  = flag.Int("trials", 0, "override Monte Carlo trials")
+		repeats = flag.Int("repeats", 0, "override repetition count m for figures 6-7")
+	)
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	if *repeats > 0 {
+		opts.Repeats = *repeats
+	}
+
+	start := time.Now()
+	suite, err := experiments.NewSuite(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("worlds built and %d exploratory queries run in %v\n\n",
+		len(suite.Graphs12)+len(suite.Graphs3), time.Since(start).Round(time.Millisecond))
+
+	want := map[string]bool{}
+	for _, t := range targets {
+		want[t] = true
+	}
+	all := want["all"]
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		fmt.Println(experiments.RenderTable1(suite.Table1()))
+		return nil
+	})
+	run("fig4", func() error {
+		rows, err := experiments.Figure4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig4(rows))
+		return nil
+	})
+	run("fig5", func() error {
+		panels, err := suite.Figure5()
+		if err != nil {
+			return err
+		}
+		for _, p := range panels {
+			fmt.Println(experiments.RenderFig5(p))
+		}
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := suite.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderRanks("Table 2: ranks of the 7 emerging functions", rows))
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := suite.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderRanks("Table 3: ranks of the 11 hypothetical proteins' functions", rows))
+		return nil
+	})
+	run("fig6", func() error {
+		panels, err := suite.Figure6()
+		if err != nil {
+			return err
+		}
+		for _, p := range panels {
+			fmt.Println(experiments.RenderFig6(p))
+		}
+		return nil
+	})
+	run("fig7", func() error {
+		res, err := suite.Figure7(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig7(res))
+		return nil
+	})
+	run("fig8", func() error {
+		res, err := suite.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig8(res))
+		return nil
+	})
+	// The ablation and scaling studies are extensions beyond the paper;
+	// they only run when asked for explicitly.
+	if want["ablation"] {
+		run("ablation", func() error {
+			rows, err := suite.Ablation()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderAblation(rows))
+			return nil
+		})
+	}
+	if want["scaling"] {
+		run("scaling", func() error {
+			rows, err := suite.Scaling(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderScaling(rows))
+			return nil
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,206 @@
+package bio
+
+import (
+	"strings"
+	"testing"
+
+	"biorank/internal/prob"
+)
+
+func TestOntologyAddAndLookup(t *testing.T) {
+	o := NewOntology()
+	if err := o.AddTerm("GO:1", "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddTerm("GO:2", "child", "GO:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddTerm("GO:2", "dup"); err == nil {
+		t.Fatal("duplicate term accepted")
+	}
+	if err := o.AddTerm("GO:3", "orphan", "GO:99"); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	term, ok := o.Term("GO:2")
+	if !ok || term.Name != "child" {
+		t.Fatalf("lookup failed: %+v %v", term, ok)
+	}
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d", o.Len())
+	}
+}
+
+func TestOntologyAncestorsAndIsA(t *testing.T) {
+	o := NewOntology()
+	for _, step := range []struct {
+		id      TermID
+		parents []TermID
+	}{
+		{"GO:1", nil},
+		{"GO:2", []TermID{"GO:1"}},
+		{"GO:3", []TermID{"GO:1"}},
+		{"GO:4", []TermID{"GO:2", "GO:3"}},
+	} {
+		if err := o.AddTerm(step.id, string(step.id), step.parents...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	anc := o.Ancestors("GO:4")
+	if len(anc) != 3 {
+		t.Fatalf("GO:4 ancestors = %v, want 3", anc)
+	}
+	if !o.IsA("GO:4", "GO:1") || !o.IsA("GO:4", "GO:4") {
+		t.Fatal("IsA closure wrong")
+	}
+	if o.IsA("GO:1", "GO:4") {
+		t.Fatal("IsA direction wrong")
+	}
+}
+
+func TestGenerateOntology(t *testing.T) {
+	o := GenerateOntology(prob.NewRNG(1), 200)
+	if o.Len() < 200 {
+		t.Fatalf("ontology too small: %d", o.Len())
+	}
+	// Paper terms must be present with their names.
+	term, ok := o.Term("GO:0008281")
+	if !ok || term.Name != "sulphonylurea receptor activity" {
+		t.Fatalf("paper term missing: %+v %v", term, ok)
+	}
+	// Every non-root term reaches a root (DAG by construction).
+	for _, id := range o.Terms() {
+		tm, _ := o.Term(id)
+		if len(tm.Parents) == 0 {
+			continue
+		}
+		anc := o.Ancestors(id)
+		foundRoot := false
+		for _, a := range anc {
+			if a == "GO:0003674" || a == "GO:0008150" || a == "GO:0005575" {
+				foundRoot = true
+			}
+		}
+		if !foundRoot {
+			t.Fatalf("term %s has no root ancestor", id)
+		}
+	}
+	// Deterministic given the seed.
+	o2 := GenerateOntology(prob.NewRNG(1), 200)
+	if len(o.Terms()) != len(o2.Terms()) {
+		t.Fatal("generation not deterministic")
+	}
+	for i, id := range o.Terms() {
+		if o2.Terms()[i] != id {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestRandomSequence(t *testing.T) {
+	rng := prob.NewRNG(2)
+	s := RandomSequence(rng, 120)
+	if len(s) != 120 {
+		t.Fatalf("length %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune(Alphabet, rune(s[i])) {
+			t.Fatalf("invalid residue %q", s[i])
+		}
+	}
+}
+
+func TestMutateRates(t *testing.T) {
+	rng := prob.NewRNG(3)
+	s := RandomSequence(rng, 500)
+	if got := Mutate(rng, s, 0); got != s {
+		t.Fatal("rate 0 must be identity")
+	}
+	m := Mutate(rng, s, 0.3)
+	id := Identity(s, m)
+	// Expected identity ≈ 1 - 0.3·(19/20) ≈ 0.715.
+	if id < 0.6 || id > 0.82 {
+		t.Fatalf("identity after 0.3 mutation = %v, want ~0.715", id)
+	}
+	u := Mutate(rng, s, 1)
+	if Identity(s, u) > 0.25 {
+		t.Fatalf("full mutation left identity %v", Identity(s, u))
+	}
+}
+
+func TestIdentityEdgeCases(t *testing.T) {
+	if Identity("", "ACD") != 0 {
+		t.Fatal("empty sequence identity should be 0")
+	}
+	if Identity("ACD", "ACD") != 1 {
+		t.Fatal("self identity should be 1")
+	}
+	if Identity("ACDE", "ACDF") != 0.75 {
+		t.Fatal("partial identity wrong")
+	}
+}
+
+func TestKmerSet(t *testing.T) {
+	ks := KmerSet("ACDEA", 3)
+	want := []string{"ACD", "CDE", "DEA"}
+	if len(ks) != len(want) {
+		t.Fatalf("kmer set %v", ks)
+	}
+	for _, k := range want {
+		if _, ok := ks[k]; !ok {
+			t.Fatalf("missing kmer %s", k)
+		}
+	}
+	if len(KmerSet("AC", 3)) != 0 {
+		t.Fatal("short sequence should have empty kmer set")
+	}
+	if len(KmerSet("ACGT", 0)) != 0 {
+		t.Fatal("k=0 should have empty kmer set")
+	}
+}
+
+func TestFamilyMembersShareKmers(t *testing.T) {
+	rng := prob.NewRNG(5)
+	fam := NewFamily(rng, "fam1", 200, "GO:0000001")
+	m1 := fam.Member(rng, 0.05)
+	m2 := fam.Member(rng, 0.05)
+	k1 := KmerSet(m1, 3)
+	k2 := KmerSet(m2, 3)
+	shared := 0
+	for k := range k1 {
+		if _, ok := k2[k]; ok {
+			shared++
+		}
+	}
+	if shared < 50 {
+		t.Fatalf("family members share only %d 3-mers", shared)
+	}
+	// Unrelated sequences share far fewer.
+	stranger := RandomSequence(rng, 200)
+	ks := KmerSet(stranger, 3)
+	sharedStranger := 0
+	for k := range k1 {
+		if _, ok := ks[k]; ok {
+			sharedStranger++
+		}
+	}
+	if sharedStranger >= shared {
+		t.Fatalf("stranger shares %d >= family %d", sharedStranger, shared)
+	}
+}
+
+func TestProteinValidate(t *testing.T) {
+	ok := Protein{Accession: "P1", Gene: "G1", Seq: "ACDEF"}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Protein{
+		{Accession: "", Seq: "ACD"},
+		{Accession: "P2", Seq: ""},
+		{Accession: "P3", Seq: "ACZ"},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("invalid protein accepted: %+v", p)
+		}
+	}
+}

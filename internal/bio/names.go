@@ -1,0 +1,19 @@
+package bio
+
+// paperTermNames indexes PaperTerms by ID for display purposes.
+var paperTermNames = func() map[TermID]string {
+	m := make(map[TermID]string, len(PaperTerms))
+	for _, t := range PaperTerms {
+		m[t.ID] = t.Name
+	}
+	return m
+}()
+
+// TermName returns the human-readable name of a GO term the paper
+// mentions, or a generic description for synthetic terms.
+func TermName(id TermID) string {
+	if n, ok := paperTermNames[id]; ok {
+		return n
+	}
+	return "synthetic function " + string(id)
+}

@@ -1,0 +1,22 @@
+package bio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTermNamePaperTerms(t *testing.T) {
+	if got := TermName("GO:0008281"); got != "sulphonylurea receptor activity" {
+		t.Fatalf("TermName(GO:0008281) = %q", got)
+	}
+	if got := TermName("GO:0004017"); got != "adenylate kinase activity" {
+		t.Fatalf("TermName(GO:0004017) = %q", got)
+	}
+}
+
+func TestTermNameSynthetic(t *testing.T) {
+	got := TermName("GO:8100001")
+	if !strings.Contains(got, "GO:8100001") {
+		t.Fatalf("synthetic term name should embed the ID: %q", got)
+	}
+}

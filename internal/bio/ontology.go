@@ -1,0 +1,172 @@
+// Package bio provides the biological substrate of the reproduction: a
+// synthetic Gene Ontology (GO) — a DAG of function terms serving as the
+// shared vocabulary of protein functions — and synthetic protein
+// sequences organized into families, which drive the BLAST-like and
+// HMM-profile-like matchers in internal/sources.
+//
+// The paper relies on the real GO and on live sequence databases from
+// June 2007; see DESIGN.md for why these synthetic equivalents preserve
+// the behaviour the ranking experiments measure.
+package bio
+
+import (
+	"fmt"
+	"sort"
+
+	"biorank/internal/prob"
+)
+
+// TermID is a Gene Ontology identifier such as "GO:0008281".
+type TermID string
+
+// Term is one node of the ontology.
+type Term struct {
+	ID      TermID
+	Name    string
+	Parents []TermID // is-a relations toward more general terms
+}
+
+// Ontology is a DAG of GO terms.
+type Ontology struct {
+	terms map[TermID]*Term
+	order []TermID // insertion order, for deterministic iteration
+}
+
+// NewOntology returns an empty ontology.
+func NewOntology() *Ontology {
+	return &Ontology{terms: make(map[TermID]*Term)}
+}
+
+// AddTerm registers a term; parents must already exist (so the ontology
+// is a DAG by construction).
+func (o *Ontology) AddTerm(id TermID, name string, parents ...TermID) error {
+	if _, dup := o.terms[id]; dup {
+		return fmt.Errorf("bio: duplicate term %s", id)
+	}
+	for _, p := range parents {
+		if _, ok := o.terms[p]; !ok {
+			return fmt.Errorf("bio: term %s references unknown parent %s", id, p)
+		}
+	}
+	o.terms[id] = &Term{ID: id, Name: name, Parents: append([]TermID(nil), parents...)}
+	o.order = append(o.order, id)
+	return nil
+}
+
+// Term returns the term with the given ID.
+func (o *Ontology) Term(id TermID) (*Term, bool) {
+	t, ok := o.terms[id]
+	return t, ok
+}
+
+// Len returns the number of terms.
+func (o *Ontology) Len() int { return len(o.terms) }
+
+// Terms returns all term IDs in insertion order.
+func (o *Ontology) Terms() []TermID { return o.order }
+
+// Ancestors returns the transitive is-a closure of id (excluding id),
+// sorted.
+func (o *Ontology) Ancestors(id TermID) []TermID {
+	seen := map[TermID]bool{}
+	var walk func(TermID)
+	walk = func(t TermID) {
+		term, ok := o.terms[t]
+		if !ok {
+			return
+		}
+		for _, p := range term.Parents {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(id)
+	out := make([]TermID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsA reports whether child is (transitively) a kind of ancestor.
+func (o *Ontology) IsA(child, ancestor TermID) bool {
+	if child == ancestor {
+		return true
+	}
+	for _, a := range o.Ancestors(child) {
+		if a == ancestor {
+			return true
+		}
+	}
+	return false
+}
+
+// PaperTerms are the GO terms the paper mentions by ID, with their names
+// where the paper gives them; the synthetic ontology seeds itself with
+// these so the CLI reproduces the Section 2 example output verbatim.
+var PaperTerms = []Term{
+	{ID: "GO:0008281", Name: "sulphonylurea receptor activity"},
+	{ID: "GO:0006813", Name: "potassium ion conductance"},
+	{ID: "GO:0005524", Name: "interacting selectively with ATP"},
+	{ID: "GO:0005886", Name: "cytoplasmic membrane"},
+	{ID: "GO:0005215", Name: "small-molecule carrier or transporter"},
+	{ID: "GO:0006855", Name: "multidrug transport"},
+	{ID: "GO:0015559", Name: "multidrug efflux pump activity"},
+	{ID: "GO:0042493", Name: "response to drug"},
+	{ID: "GO:0030321", Name: "transepithelial chloride transport"},
+	{ID: "GO:0007501", Name: "mesodermal cell fate specification"},
+	{ID: "GO:0042472", Name: "inner ear morphogenesis"},
+	{ID: "GO:0003973", Name: "(S)-2-hydroxy-acid oxidase activity"},
+	{ID: "GO:0019175", Name: "nicotinamide-nucleotide amidase activity"},
+	{ID: "GO:0016226", Name: "iron-sulfur cluster assembly"},
+	{ID: "GO:0050518", Name: "2-C-methyl-D-erythritol 4-phosphate cytidylyltransferase activity"},
+	{ID: "GO:0019143", Name: "3-deoxy-manno-octulosonate-8-phosphatase activity"},
+	{ID: "GO:0004729", Name: "oxygen-dependent protoporphyrinogen oxidase activity"},
+	{ID: "GO:0008990", Name: "rRNA (guanine-N2-)-methyltransferase activity"},
+	{ID: "GO:0047632", Name: "agmatine deiminase activity"},
+	{ID: "GO:0003951", Name: "NAD+ kinase activity"},
+	{ID: "GO:0004017", Name: "adenylate kinase activity"},
+}
+
+// GenerateOntology builds a synthetic GO-like DAG with n terms: three
+// root namespaces (molecular function, biological process, cellular
+// component) and layered is-a children, seeded with PaperTerms so the
+// experiment scenarios can reference them.
+func GenerateOntology(rng *prob.RNG, n int) *Ontology {
+	o := NewOntology()
+	roots := []TermID{"GO:0003674", "GO:0008150", "GO:0005575"}
+	names := []string{"molecular_function", "biological_process", "cellular_component"}
+	for i, r := range roots {
+		if err := o.AddTerm(r, names[i]); err != nil {
+			panic(err)
+		}
+	}
+	for _, t := range PaperTerms {
+		root := roots[rng.Intn(len(roots))]
+		if err := o.AddTerm(t.ID, t.Name, root); err != nil {
+			panic(err)
+		}
+	}
+	next := 9000000
+	for o.Len() < n {
+		// Attach each new term to 1-2 existing terms.
+		id := TermID(fmt.Sprintf("GO:%07d", next))
+		next++
+		existing := o.Terms()
+		p1 := existing[rng.Intn(len(existing))]
+		parents := []TermID{p1}
+		if rng.Bernoulli(0.25) {
+			p2 := existing[rng.Intn(len(existing))]
+			if p2 != p1 {
+				parents = append(parents, p2)
+			}
+		}
+		if err := o.AddTerm(id, fmt.Sprintf("synthetic function %d", next), parents...); err != nil {
+			panic(err)
+		}
+	}
+	return o
+}

@@ -1,0 +1,130 @@
+package bio
+
+import (
+	"fmt"
+	"strings"
+
+	"biorank/internal/prob"
+)
+
+// Alphabet is the 20-letter amino-acid alphabet of protein sequences.
+const Alphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// Sequence is a protein sequence.
+type Sequence string
+
+// RandomSequence returns a uniform random protein sequence of length n.
+func RandomSequence(rng *prob.RNG, n int) Sequence {
+	var b strings.Builder
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		b.WriteByte(Alphabet[rng.Intn(len(Alphabet))])
+	}
+	return Sequence(b.String())
+}
+
+// Mutate returns a copy of s in which each residue is independently
+// replaced by a random one with probability rate. rate 0 returns s
+// unchanged; rate 1 yields an unrelated sequence.
+func Mutate(rng *prob.RNG, s Sequence, rate float64) Sequence {
+	if rate <= 0 {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if rng.Bernoulli(rate) {
+			b[i] = Alphabet[rng.Intn(len(Alphabet))]
+		}
+	}
+	return Sequence(b)
+}
+
+// Identity returns the fraction of positions at which a and b agree
+// (over the shorter length); 0 if either is empty.
+func Identity(a, b Sequence) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// KmerSet returns the set of k-mers occurring in s.
+func KmerSet(s Sequence, k int) map[string]struct{} {
+	out := make(map[string]struct{})
+	if k <= 0 || len(s) < k {
+		return out
+	}
+	for i := 0; i+k <= len(s); i++ {
+		out[string(s[i:i+k])] = struct{}{}
+	}
+	return out
+}
+
+// Family is a protein family: a consensus sequence from which member
+// sequences diverge by point mutations. Families drive both the
+// BLAST-like aligner (members share k-mers) and the profile matcher
+// (position weight matrix around the consensus).
+type Family struct {
+	Name      string
+	Consensus Sequence
+	// Functions are the GO terms annotated to the family.
+	Functions []TermID
+}
+
+// NewFamily creates a family with a random consensus of the given length.
+func NewFamily(rng *prob.RNG, name string, length int, functions ...TermID) *Family {
+	return &Family{
+		Name:      name,
+		Consensus: RandomSequence(rng, length),
+		Functions: append([]TermID(nil), functions...),
+	}
+}
+
+// Member returns a new member sequence at the given divergence (mutation
+// rate) from the consensus.
+func (f *Family) Member(rng *prob.RNG, divergence float64) Sequence {
+	return Mutate(rng, f.Consensus, divergence)
+}
+
+// Protein is a protein record: an accession, the gene encoding it, and
+// its sequence.
+type Protein struct {
+	Accession string
+	Gene      string
+	Seq       Sequence
+}
+
+// GeneRecord is a curated gene entry: a gene identifier plus annotated
+// functions, each with a curation status code.
+type GeneRecord struct {
+	ID        string
+	Gene      string
+	Status    string // EntrezGene status code, e.g. "Reviewed"
+	Functions []TermID
+}
+
+// Validate checks structural invariants of a protein record.
+func (p Protein) Validate() error {
+	if p.Accession == "" {
+		return fmt.Errorf("bio: protein needs an accession")
+	}
+	if len(p.Seq) == 0 {
+		return fmt.Errorf("bio: protein %s has no sequence", p.Accession)
+	}
+	for i := 0; i < len(p.Seq); i++ {
+		if !strings.ContainsRune(Alphabet, rune(p.Seq[i])) {
+			return fmt.Errorf("bio: protein %s has invalid residue %q at %d", p.Accession, p.Seq[i], i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package er implements the mediated Entity-Relationship schema of
+// Section 2 of the paper and the schema-reducibility analysis of Theorem
+// 3.2 (Section 3.1.3).
+//
+// An entity set has schema P(id, a1, a2, ...) and carries a set-level
+// confidence ps; a relationship Q(id, id', b1, ...) relates two entity
+// sets, has a cardinality class ([1:1], [1:n], [n:1] or [m:n]) and a
+// set-level confidence qs. The reducibility of a schema determines
+// whether the graph-reduction rules of Section 3.1.2 are guaranteed to
+// fully reduce every data instance, yielding a closed-form reliability
+// solution.
+package er
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cardinality classifies a relationship between two entity sets.
+type Cardinality int
+
+// Cardinality classes. OneToOne is included in both OneToMany and
+// ManyToOne for the purposes of Theorem 3.2, as the paper notes.
+const (
+	OneToOne   Cardinality = iota // [1:1]
+	OneToMany                     // [1:n]
+	ManyToOne                     // [n:1]
+	ManyToMany                    // [m:n]
+)
+
+// String implements fmt.Stringer.
+func (c Cardinality) String() string {
+	switch c {
+	case OneToOne:
+		return "[1:1]"
+	case OneToMany:
+		return "[1:n]"
+	case ManyToOne:
+		return "[n:1]"
+	case ManyToMany:
+		return "[m:n]"
+	default:
+		return fmt.Sprintf("Cardinality(%d)", int(c))
+	}
+}
+
+// isOneToMany reports whether c behaves as [1:n] ([1:1] qualifies).
+func (c Cardinality) isOneToMany() bool { return c == OneToMany || c == OneToOne }
+
+// isManyToOne reports whether c behaves as [n:1] ([1:1] qualifies).
+func (c Cardinality) isManyToOne() bool { return c == ManyToOne || c == OneToOne }
+
+// EntitySet is one entity set of the mediated schema.
+type EntitySet struct {
+	Name string
+	// Source is the data source exporting this entity set.
+	Source string
+	// PS is the set-level confidence ps ∈ [0,1] in the source as a whole
+	// (user-tunable, Section 2).
+	PS float64
+	// KeyAttr and Attrs document the schema; KeyAttr is the key.
+	KeyAttr string
+	Attrs   []string
+}
+
+// Relationship is one relationship of the mediated schema, directed from
+// entity set From to entity set To.
+type Relationship struct {
+	Name string
+	From string
+	To   string
+	Card Cardinality
+	// QS is the set-level confidence qs ∈ [0,1] in the relationship as a
+	// whole (e.g. Pfam's adjacency-aware matcher is trusted more than
+	// BLAST, Section 2).
+	QS float64
+}
+
+// Schema is a mediated E/R schema.
+type Schema struct {
+	entities map[string]*EntitySet
+	rels     []*Relationship
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{entities: make(map[string]*EntitySet)}
+}
+
+// AddEntity registers an entity set. It returns an error on duplicates or
+// out-of-range confidence.
+func (s *Schema) AddEntity(e EntitySet) error {
+	if e.Name == "" {
+		return fmt.Errorf("er: entity set needs a name")
+	}
+	if _, dup := s.entities[e.Name]; dup {
+		return fmt.Errorf("er: duplicate entity set %q", e.Name)
+	}
+	if e.PS < 0 || e.PS > 1 {
+		return fmt.Errorf("er: entity set %q ps=%g outside [0,1]", e.Name, e.PS)
+	}
+	cp := e
+	s.entities[e.Name] = &cp
+	return nil
+}
+
+// AddRelationship registers a relationship. Both endpoints must exist.
+func (s *Schema) AddRelationship(r Relationship) error {
+	if r.Name == "" {
+		return fmt.Errorf("er: relationship needs a name")
+	}
+	if _, ok := s.entities[r.From]; !ok {
+		return fmt.Errorf("er: relationship %q references unknown entity set %q", r.Name, r.From)
+	}
+	if _, ok := s.entities[r.To]; !ok {
+		return fmt.Errorf("er: relationship %q references unknown entity set %q", r.Name, r.To)
+	}
+	if r.QS < 0 || r.QS > 1 {
+		return fmt.Errorf("er: relationship %q qs=%g outside [0,1]", r.Name, r.QS)
+	}
+	for _, ex := range s.rels {
+		if ex.Name == r.Name {
+			return fmt.Errorf("er: duplicate relationship %q", r.Name)
+		}
+	}
+	cp := r
+	s.rels = append(s.rels, &cp)
+	return nil
+}
+
+// Entity returns the entity set with the given name.
+func (s *Schema) Entity(name string) (*EntitySet, bool) {
+	e, ok := s.entities[name]
+	return e, ok
+}
+
+// Relationships returns all relationships (shared slice; do not modify).
+func (s *Schema) Relationships() []*Relationship { return s.rels }
+
+// EntityNames returns the entity set names in sorted order.
+func (s *Schema) EntityNames() []string {
+	out := make([]string, 0, len(s.entities))
+	for n := range s.entities {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumEntities returns the number of entity sets.
+func (s *Schema) NumEntities() int { return len(s.entities) }
+
+// NumRelationships returns the number of relationships.
+func (s *Schema) NumRelationships() int { return len(s.rels) }
+
+// SplitTernary documents (and implements) the ternary→binary translation
+// of Section 2: a ternary relationship like NCBIBlast(seq1, seq2, idEG,
+// e-value) becomes NCBIBlast1(seq1, seq2, e-value) and
+// NCBIBlast2(seq2, idEG). Given the two halves, it registers both.
+func (s *Schema) SplitTernary(first, second Relationship) error {
+	if err := s.AddRelationship(first); err != nil {
+		return err
+	}
+	if first.To != second.From {
+		return fmt.Errorf("er: ternary split halves %q/%q do not chain", first.Name, second.Name)
+	}
+	return s.AddRelationship(second)
+}

@@ -1,0 +1,247 @@
+package er
+
+import "sort"
+
+// This file implements the reducibility decision procedure of Theorem
+// 3.2: an E/R schema is reducible — meaning the graph-reduction rules of
+// Section 3.1.2 completely reduce every data instance of the schema —
+// when either
+//
+//	A) the schema is a tree consisting only of [1:n] relationships, or
+//	B) some entity set P has exactly one incoming [1:n] relationship Q
+//	   and exactly one outgoing [n:1] relationship Q', the composition
+//	   Q∘Q' is [1:n] or [n:1] (not [m:n]), and the schema with P removed
+//	   and Q,Q' replaced by Q∘Q' is reducible.
+//
+// The key insight of the theorem is that the ORDER of composition
+// matters: the procedure therefore backtracks over all candidate entity
+// sets rather than composing greedily.
+
+// ComposeFunc decides the cardinality of the composition Q∘Q' of two
+// relationships. [1:n]∘[1:n] = [1:n] and [n:1]∘[n:1] = [n:1] hold always;
+// the interesting case [1:n]∘[n:1] may be [1:n], [n:1], [1:1] or [m:n]
+// depending on domain knowledge, which this callback supplies.
+type ComposeFunc func(q, qPrime *Relationship) Cardinality
+
+// ConservativeCompose is the ComposeFunc used when no domain knowledge is
+// available: compositions with a forced outcome get that outcome, and
+// [1:n]∘[n:1] is pessimistically declared [m:n].
+func ConservativeCompose(q, qPrime *Relationship) Cardinality {
+	return composeDefault(q.Card, qPrime.Card, ManyToMany)
+}
+
+// composeDefault composes two cardinalities, using fallback for the
+// underdetermined [1:n]∘[n:1] case.
+func composeDefault(a, b Cardinality, fallback Cardinality) Cardinality {
+	switch {
+	case a == OneToOne:
+		return b
+	case b == OneToOne:
+		return a
+	case a == OneToMany && b == OneToMany:
+		return OneToMany
+	case a == ManyToOne && b == ManyToOne:
+		return ManyToOne
+	case a == ManyToMany || b == ManyToMany:
+		return ManyToMany
+	default: // [1:n]∘[n:1] or [n:1]∘[1:n]: not determined by types alone
+		return fallback
+	}
+}
+
+// Reducible reports whether the schema is reducible per Theorem 3.2,
+// using compose to resolve underdetermined compositions (nil means
+// ConservativeCompose). The second return value is the sequence of entity
+// set names eliminated by part-B compositions, in order, which is also
+// the order in which the serial-path rule can be applied to data
+// instances.
+func (s *Schema) Reducible(compose ComposeFunc) (bool, []string) {
+	if compose == nil {
+		compose = ConservativeCompose
+	}
+	st := schemaState{compose: compose}
+	st.init(s)
+	var order []string
+	if st.solve(&order) {
+		return true, order
+	}
+	return false, nil
+}
+
+// schemaState is the mutable view of a schema during the backtracking
+// search. Relationships are value copies so composition can rewrite them
+// freely.
+type schemaState struct {
+	compose  ComposeFunc
+	entities []string
+	alive    map[string]bool
+	rels     []Relationship
+	relAlive []bool
+}
+
+func (st *schemaState) init(s *Schema) {
+	st.entities = s.EntityNames()
+	st.alive = make(map[string]bool, len(st.entities))
+	for _, e := range st.entities {
+		st.alive[e] = true
+	}
+	st.rels = make([]Relationship, len(s.rels))
+	st.relAlive = make([]bool, len(s.rels))
+	for i, r := range s.rels {
+		st.rels[i] = *r
+		st.relAlive[i] = true
+	}
+}
+
+// isOneToManyTree implements part A: the live schema is a tree (in the
+// undirected sense, rooted anywhere) whose relationships are all [1:n]
+// when directed away from the root. We check the directed version the
+// paper intends: every live entity has at most one incoming relationship,
+// all relationships are [1:n] (or [1:1]), and the schema is connected and
+// acyclic — equivalently, exactly one root and #rels = #entities − 1 with
+// no undirected cycle.
+func (st *schemaState) isOneToManyTree() bool {
+	liveEnts := 0
+	for _, e := range st.entities {
+		if st.alive[e] {
+			liveEnts++
+		}
+	}
+	liveRels := 0
+	indeg := make(map[string]int)
+	for i, r := range st.rels {
+		if !st.relAlive[i] {
+			continue
+		}
+		if !r.Card.isOneToMany() {
+			return false
+		}
+		liveRels++
+		indeg[r.To]++
+	}
+	if liveEnts == 0 {
+		return true
+	}
+	if liveRels != liveEnts-1 {
+		return false
+	}
+	// Exactly one root, every other node indegree 1 → forest with
+	// liveEnts-1 edges → tree.
+	roots := 0
+	for _, e := range st.entities {
+		if !st.alive[e] {
+			continue
+		}
+		switch indeg[e] {
+		case 0:
+			roots++
+		case 1:
+		default:
+			return false
+		}
+	}
+	return roots == 1
+}
+
+// solve backtracks over part-B eliminations.
+func (st *schemaState) solve(order *[]string) bool {
+	if st.isOneToManyTree() {
+		return true
+	}
+	for _, p := range st.entities {
+		if !st.alive[p] {
+			continue
+		}
+		inIdx, outIdx, ok := st.soleInOut(p)
+		if !ok {
+			continue
+		}
+		q, qPrime := st.rels[inIdx], st.rels[outIdx]
+		if !q.Card.isOneToMany() || !qPrime.Card.isManyToOne() {
+			continue
+		}
+		comp := st.compose(&q, &qPrime)
+		if comp == ManyToMany {
+			continue
+		}
+		// Apply: remove p, replace q,q' with the composition.
+		st.alive[p] = false
+		st.relAlive[inIdx] = false
+		st.relAlive[outIdx] = false
+		newRel := Relationship{
+			Name: q.Name + "∘" + qPrime.Name,
+			From: q.From,
+			To:   qPrime.To,
+			Card: comp,
+			QS:   q.QS * qPrime.QS,
+		}
+		st.rels = append(st.rels, newRel)
+		st.relAlive = append(st.relAlive, true)
+		*order = append(*order, p)
+		if st.solve(order) {
+			return true
+		}
+		// Undo.
+		*order = (*order)[:len(*order)-1]
+		st.rels = st.rels[:len(st.rels)-1]
+		st.relAlive = st.relAlive[:len(st.relAlive)-1]
+		st.relAlive[inIdx] = true
+		st.relAlive[outIdx] = true
+		st.alive[p] = true
+	}
+	return false
+}
+
+// soleInOut returns the indices of p's unique incoming and outgoing live
+// relationships, or ok=false if p does not have exactly one of each.
+func (st *schemaState) soleInOut(p string) (in, out int, ok bool) {
+	in, out = -1, -1
+	for i, r := range st.rels {
+		if !st.relAlive[i] {
+			continue
+		}
+		if r.To == p {
+			if in >= 0 {
+				return 0, 0, false
+			}
+			in = i
+		}
+		if r.From == p {
+			if out >= 0 {
+				return 0, 0, false
+			}
+			out = i
+		}
+	}
+	return in, out, in >= 0 && out >= 0
+}
+
+// CompositionTable is a convenience ComposeFunc built from explicit
+// domain knowledge: the outcome of composing two named relationships.
+// Unlisted pairs fall back to ConservativeCompose.
+type CompositionTable map[[2]string]Cardinality
+
+// Compose implements ComposeFunc.
+func (t CompositionTable) Compose(q, qPrime *Relationship) Cardinality {
+	if c, ok := t[[2]string{q.Name, qPrime.Name}]; ok {
+		return c
+	}
+	// Compositions involving a previously composed relationship inherit
+	// conservativeness.
+	return ConservativeCompose(q, qPrime)
+}
+
+// sortedKeys is used by tests for deterministic iteration.
+func (t CompositionTable) sortedKeys() [][2]string {
+	keys := make([][2]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}

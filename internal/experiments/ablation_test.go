@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblation(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 variants, got %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	full := byName["full integration"]
+	directOnly := byName["direct link only"]
+	noBlast := byName["no BLAST path"]
+	noProfiles := byName["no profile DBs"]
+
+	// Removing paths must shrink the graphs.
+	if noBlast.AvgGraph.Nodes >= full.AvgGraph.Nodes {
+		t.Error("removing BLAST should shrink the query graphs")
+	}
+	if directOnly.AvgGraph.Nodes >= noBlast.AvgGraph.Nodes {
+		t.Error("direct-only should be the smallest variant")
+	}
+
+	// The emerging functions are only reachable through the profile
+	// path, so removing profiles kills scenario-2 AP entirely.
+	if noProfiles.Scenario2.Mean > 0.01 {
+		t.Errorf("no-profile variant should lose the emerging functions, AP=%v",
+			noProfiles.Scenario2.Mean)
+	}
+	// Direct-only ranks precisely (its candidates are nearly all golden)
+	// but retrieves only the directly curated fraction; full integration
+	// must reach full recall.
+	if full.GoldenCoverage < 0.99 {
+		t.Errorf("full integration golden coverage %v, want ~1", full.GoldenCoverage)
+	}
+	if directOnly.GoldenCoverage > 0.8 {
+		t.Errorf("direct-only coverage %v should be far below full integration",
+			directOnly.GoldenCoverage)
+	}
+	out := RenderAblation(rows)
+	if !strings.Contains(out, "full integration") {
+		t.Fatal("render incomplete")
+	}
+}

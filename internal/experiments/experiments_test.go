@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// quickSuite is shared across tests (world construction is the expensive
+// part).
+var (
+	quickOnce  sync.Once
+	quickSuite *Suite
+	quickErr   error
+)
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	quickOnce.Do(func() {
+		quickSuite, quickErr = NewSuite(QuickOptions())
+	})
+	if quickErr != nil {
+		t.Fatal(quickErr)
+	}
+	return quickSuite
+}
+
+func row(p Fig5Panel, method string) Fig5Row {
+	for _, r := range p.Rows {
+		if r.Method == method {
+			return r
+		}
+	}
+	return Fig5Row{}
+}
+
+func TestSuiteConstruction(t *testing.T) {
+	s := suite(t)
+	if len(s.Graphs12) != 20 {
+		t.Fatalf("want 20 scenario-1/2 graphs, got %d", len(s.Graphs12))
+	}
+	if len(s.Graphs3) != 11 {
+		t.Fatalf("want 11 scenario-3 graphs, got %d", len(s.Graphs3))
+	}
+	for i, qg := range s.Graphs12 {
+		if qg.NumNodes() < 50 {
+			t.Errorf("graph %d suspiciously small: %d nodes", i, qg.NumNodes())
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	s := suite(t)
+	rows := s.Table1()
+	if len(rows) != 20 {
+		t.Fatalf("want 20 rows, got %d", len(rows))
+	}
+	// The paper's Table 1 prints "Sum ... 1036", but its twenty
+	// per-protein candidate counts actually add to 1037 — a typo in the
+	// paper's sum row. We reproduce the per-row values, so our total is
+	// the arithmetically correct 1037.
+	wantTotals := [2]int{306, 1037}
+	gotK, gotN := 0, 0
+	for _, r := range rows {
+		gotK += r.GoldenCount
+		gotN += r.CandidateCount
+	}
+	if gotK != wantTotals[0] || gotN != wantTotals[1] {
+		t.Fatalf("totals %d/%d, want %d/%d (paper Table 1 sums)", gotK, gotN, wantTotals[0], wantTotals[1])
+	}
+	if rows[0].Protein != "ABCC8" || rows[0].GoldenCount != 13 || rows[0].CandidateCount != 97 {
+		t.Fatalf("ABCC8 row wrong: %+v", rows[0])
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "ABCC8") || !strings.Contains(out, "Sum") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestFigure5ReproducesShape(t *testing.T) {
+	s := suite(t)
+	panels, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 3 {
+		t.Fatalf("want 3 panels, got %d", len(panels))
+	}
+	s1, s2, s3 := panels[0], panels[1], panels[2]
+
+	// Random baselines must match the paper closely (they are fully
+	// determined by Table 1-3 counts).
+	for _, c := range []struct {
+		panel Fig5Panel
+		want  float64
+	}{{s1, 0.42}, {s2, 0.12}, {s3, 0.29}} {
+		got := row(c.panel, "random").AP.Mean
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("scenario %d random AP %v, want ~%v", c.panel.Scenario, got, c.want)
+		}
+	}
+
+	// Scenario 1 (paper): deterministic methods as good as or slightly
+	// better than reliability/propagation; diffusion worst; all far
+	// above random.
+	if row(s1, "inedge").AP.Mean < row(s1, "reliability").AP.Mean-0.03 {
+		t.Errorf("scenario 1: inedge %v should be >= reliability %v - 0.03",
+			row(s1, "inedge").AP.Mean, row(s1, "reliability").AP.Mean)
+	}
+	if row(s1, "diffusion").AP.Mean >= row(s1, "reliability").AP.Mean {
+		t.Errorf("scenario 1: diffusion should be worst among probabilistic")
+	}
+	for _, m := range MethodNames {
+		if row(s1, m).AP.Mean < 0.6 {
+			t.Errorf("scenario 1: %s AP %v too low", m, row(s1, m).AP.Mean)
+		}
+	}
+
+	// Scenario 2 (paper): probabilistic methods far better than
+	// deterministic; diffusion best; propagation below reliability.
+	if row(s2, "reliability").AP.Mean < row(s2, "inedge").AP.Mean+0.2 {
+		t.Errorf("scenario 2: reliability %v should dominate inedge %v",
+			row(s2, "reliability").AP.Mean, row(s2, "inedge").AP.Mean)
+	}
+	if row(s2, "diffusion").AP.Mean < row(s2, "reliability").AP.Mean-0.05 {
+		t.Errorf("scenario 2: diffusion %v should be at least reliability %v",
+			row(s2, "diffusion").AP.Mean, row(s2, "reliability").AP.Mean)
+	}
+	if row(s2, "propagation").AP.Mean > row(s2, "reliability").AP.Mean+0.02 {
+		t.Errorf("scenario 2: propagation %v should not exceed reliability %v",
+			row(s2, "propagation").AP.Mean, row(s2, "reliability").AP.Mean)
+	}
+	// Deterministic methods barely beat random on less-known functions.
+	if row(s2, "inedge").AP.Mean > 0.3 {
+		t.Errorf("scenario 2: inedge %v should be near random", row(s2, "inedge").AP.Mean)
+	}
+
+	// Scenario 3 (paper): reliability and propagation best.
+	if row(s3, "reliability").AP.Mean < row(s3, "inedge").AP.Mean {
+		t.Errorf("scenario 3: reliability %v should beat inedge %v",
+			row(s3, "reliability").AP.Mean, row(s3, "inedge").AP.Mean)
+	}
+	if row(s3, "reliability").AP.Mean < row(s3, "diffusion").AP.Mean {
+		t.Errorf("scenario 3: reliability should beat diffusion")
+	}
+
+	// Rendering sanity.
+	if !strings.Contains(RenderFig5(s1), "reliability") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestTable2EmergingFunctions(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want the paper's 7 emerging functions, got %d", len(rows))
+	}
+	for _, r := range rows {
+		ie := r.Ranks["inedge"]
+		// Deterministic methods cannot distinguish a single strong path
+		// from the weak singles: wide tie intervals.
+		if ie.Hi-ie.Lo < 5 {
+			t.Errorf("%s %s: inedge interval %s suspiciously tight", r.Protein, r.Function, ie)
+		}
+		if r.PubMedID == "" {
+			t.Errorf("%s %s: missing PubMed provenance", r.Protein, r.Function)
+		}
+	}
+	// Probabilistic mean rank must beat deterministic mean rank
+	// decisively (paper: 14.8/16.7/6.5 vs 36.6/35.9).
+	relMean := MeanRank(rows, "reliability")
+	ieMean := MeanRank(rows, "inedge")
+	if relMean >= ieMean {
+		t.Errorf("reliability mean rank %v should beat inedge %v", relMean, ieMean)
+	}
+	diffMean := MeanRank(rows, "diffusion")
+	if diffMean >= ieMean {
+		t.Errorf("diffusion mean rank %v should beat inedge %v", diffMean, ieMean)
+	}
+	out := RenderRanks("Table 2", rows)
+	if !strings.Contains(out, "Mean") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestTable3HypotheticalProteins(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("want 11 rows, got %d", len(rows))
+	}
+	relMean := MeanRank(rows, "reliability")
+	if relMean > 8 {
+		t.Errorf("reliability mean rank %v, paper reports 2.3 (top ranks)", relMean)
+	}
+	// Reliability should (weakly) beat the deterministic methods.
+	if relMean > MeanRank(rows, "inedge")+1 {
+		t.Errorf("reliability mean rank %v should be at or above inedge %v",
+			relMean, MeanRank(rows, "inedge"))
+	}
+}
+
+func TestFigure4MatchesPaper(t *testing.T) {
+	rows, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 graphs, got %d", len(rows))
+	}
+	sp := rows[0].Scores
+	if math.Abs(sp["reliability"]-0.5) > 1e-9 || math.Abs(sp["propagation"]-0.75) > 1e-9 {
+		t.Errorf("fig 4a scores wrong: %+v", sp)
+	}
+	if sp["inedge"] != 2 || sp["pathcount"] != 2 {
+		t.Errorf("fig 4a deterministic scores wrong: %+v", sp)
+	}
+	wb := rows[1].Scores
+	if math.Abs(wb["reliability"]-0.46875) > 1e-9 || math.Abs(wb["propagation"]-0.484375) > 1e-9 {
+		t.Errorf("fig 4b scores wrong: %+v", wb)
+	}
+	if wb["pathcount"] != 3 {
+		t.Errorf("fig 4b pathcount %v, want 3", wb["pathcount"])
+	}
+	if !strings.Contains(RenderFig4(rows), "Wheatstone") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFigure6Robustness(t *testing.T) {
+	s := suite(t)
+	// One representative panel per method family keeps the test fast;
+	// the full nine panels run in cmd/experiments.
+	panel, err := s.Figure6Panel(1, "propagation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panel.Cells) != len(Fig6Sigmas) {
+		t.Fatalf("want %d cells, got %d", len(Fig6Sigmas), len(panel.Cells))
+	}
+	base := panel.Cells[0].AP.Mean
+	small := panel.Cells[1].AP.Mean // sigma 0.5
+	if math.Abs(small-base) > 0.1 {
+		t.Errorf("sigma 0.5 moved AP from %v to %v; the paper finds rankings robust", base, small)
+	}
+	// Even at sigma 3 the ranking must stay well above random.
+	large := panel.Cells[len(panel.Cells)-1].AP.Mean
+	if large < panel.RandomAP+0.15 {
+		t.Errorf("sigma 3 AP %v degenerated to random %v", large, panel.RandomAP)
+	}
+	// Noise should not improve things dramatically either.
+	if large > base+0.05 {
+		t.Errorf("sigma 3 AP %v above baseline %v", large, base)
+	}
+	if !strings.Contains(RenderFig6(panel), "sensitivity") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFigure6DiffusionPanel(t *testing.T) {
+	s := suite(t)
+	panel, err := s.Figure6Panel(3, "diffusion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := panel.Cells[0].AP.Mean
+	small := panel.Cells[1].AP.Mean
+	if math.Abs(small-base) > 0.15 {
+		t.Errorf("diffusion not robust to sigma 0.5: %v -> %v", base, small)
+	}
+}
+
+func TestFigure7Convergence(t *testing.T) {
+	s := suite(t)
+	res, err := s.Figure7([]int{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(res.Points))
+	}
+	// AP must improve with trials and approach the closed solution.
+	if res.Points[0].AP.Mean >= res.Points[2].AP.Mean {
+		t.Errorf("AP did not improve with trials: %v vs %v",
+			res.Points[0].AP.Mean, res.Points[2].AP.Mean)
+	}
+	if math.Abs(res.Points[2].AP.Mean-res.ClosedAP) > 0.03 {
+		t.Errorf("1000 trials AP %v should be within 0.03 of closed %v (paper: '1000 trials already deliver very reliable results')",
+			res.Points[2].AP.Mean, res.ClosedAP)
+	}
+	if res.ClosedAP <= res.RandomAP+0.2 {
+		t.Errorf("closed AP %v should dominate random %v", res.ClosedAP, res.RandomAP)
+	}
+	if !strings.Contains(RenderFig7(res), "closed") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFigure8Efficiency(t *testing.T) {
+	s := suite(t)
+	res, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.A) != 6 || len(res.B) != 5 {
+		t.Fatalf("panel sizes wrong: %d/%d", len(res.A), len(res.B))
+	}
+	byName := map[string]float64{}
+	for _, r := range res.A {
+		byName[r.Method] = r.MS.Mean
+	}
+	// Shape claims of Figure 8a: M1 is the most expensive; reduction
+	// accelerates Monte Carlo; R&M2 is among the fastest.
+	if byName["M1 (MC 10000)"] <= byName["M2 (MC 1000)"] {
+		t.Error("10000 trials should cost more than 1000")
+	}
+	if byName["R&M1"] >= byName["M1 (MC 10000)"] {
+		t.Error("reduction should accelerate MC 10000")
+	}
+	if byName["R&M2"] > byName["C (closed)"] {
+		t.Error("reduce+MC1000 should beat the closed solution (the paper's headline)")
+	}
+	// Figure 8b: deterministic methods 1-2 orders of magnitude cheaper
+	// than reliability.
+	var rel, ie float64
+	for _, r := range res.B {
+		switch r.Method {
+		case "reliability":
+			rel = r.MS.Mean
+		case "inedge":
+			ie = r.MS.Mean
+		}
+	}
+	if rel <= ie {
+		t.Error("reliability should cost more than inedge")
+	}
+	if res.TraversalSpeedup < 1.2 {
+		t.Errorf("traversal MC speedup %v, expected > 1.2 (paper: 3.4)", res.TraversalSpeedup)
+	}
+	if res.ReductionSpeedup < res.TraversalSpeedup {
+		t.Errorf("reduction speedup %v should exceed traversal speedup %v",
+			res.ReductionSpeedup, res.TraversalSpeedup)
+	}
+	if res.ElemReduction < 0.2 || res.ElemReduction > 0.95 {
+		t.Errorf("element reduction %v implausible", res.ElemReduction)
+	}
+	if !strings.Contains(RenderFig8(res), "Figure 8a") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestScenarioCasesErrors(t *testing.T) {
+	s := suite(t)
+	if _, err := s.scenarioCases(4); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := s.probabilisticMethod("inedge", 0); err == nil {
+		t.Fatal("inedge is not a probabilistic method")
+	}
+}

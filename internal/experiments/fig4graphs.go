@@ -1,0 +1,44 @@
+package experiments
+
+import "biorank/internal/graph"
+
+// fig4aGraph builds the serial-parallel illustration graph of Figure 4a:
+// two length-3 paths from s to u sharing the initial 0.5 edge.
+func fig4aGraph() *graph.QueryGraph {
+	g := graph.New(5, 5)
+	s := g.AddNode("Q", "s", 1)
+	a := g.AddNode("X", "a", 1)
+	b := g.AddNode("X", "b", 1)
+	c := g.AddNode("X", "c", 1)
+	u := g.AddNode("A", "u", 1)
+	g.AddEdge(s, a, "r", 0.5)
+	g.AddEdge(a, b, "r", 1)
+	g.AddEdge(a, c, "r", 1)
+	g.AddEdge(b, u, "r", 1)
+	g.AddEdge(c, u, "r", 1)
+	qg, err := graph.NewQueryGraph(g, s, []graph.NodeID{u})
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+// fig4bGraph builds the Wheatstone bridge of Figure 4b with all edge
+// probabilities 0.5.
+func fig4bGraph() *graph.QueryGraph {
+	g := graph.New(4, 5)
+	s := g.AddNode("Q", "s", 1)
+	a := g.AddNode("X", "a", 1)
+	b := g.AddNode("X", "b", 1)
+	u := g.AddNode("A", "u", 1)
+	g.AddEdge(s, a, "r", 0.5)
+	g.AddEdge(s, b, "r", 0.5)
+	g.AddEdge(a, u, "r", 0.5)
+	g.AddEdge(b, u, "r", 0.5)
+	g.AddEdge(a, b, "r", 0.5)
+	qg, err := graph.NewQueryGraph(g, s, []graph.NodeID{u})
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}

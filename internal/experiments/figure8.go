@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"time"
+
+	"biorank/internal/graph"
+	"biorank/internal/rank"
+)
+
+// Fig8Row is one bar of Figure 8: the mean/std wall-clock time (in
+// milliseconds) a method needs per scenario-1 query graph, next to the
+// paper's measurement on its 2008 hardware. Absolute values differ
+// across machines; the ordering and ratios are what the experiment
+// checks.
+type Fig8Row struct {
+	Method  string
+	MS      APStat // mean/std milliseconds per query graph
+	PaperMS float64
+}
+
+// Fig8Result bundles both panels of Figure 8 plus the quoted headline
+// numbers of Section 4's efficiency study.
+type Fig8Result struct {
+	// A: approaches to reliability. M1 = Monte Carlo 10000 trials,
+	// M2 = 1000 trials, C = closed/exact solution, R& = with graph
+	// reduction first.
+	A []Fig8Row
+	// B: the five ranking methods (reliability = reduction + MC 1000,
+	// the paper's benchmark configuration).
+	B []Fig8Row
+	// TraversalSpeedup is naive-MC time / traversal-MC time (paper: 3.4,
+	// i.e. -70%).
+	TraversalSpeedup float64
+	// ReductionSpeedup is naive-MC time / (reduce + traversal-MC) time
+	// (paper: 13.4, i.e. -93%).
+	ReductionSpeedup float64
+	// ElemReduction is the average fraction of nodes+edges removed by
+	// the reduction rules (paper: 0.78).
+	ElemReduction float64
+	// AvgNodes/AvgEdges are the average original query graph sizes
+	// (paper: 520 nodes, 695 edges).
+	AvgNodes, AvgEdges float64
+}
+
+// timePerGraph runs fn on every graph (best of two runs per graph, to
+// damp scheduler noise) and returns per-graph milliseconds.
+func timePerGraph(graphs []*graph.QueryGraph, fn func(*graph.QueryGraph) error) ([]float64, error) {
+	out := make([]float64, 0, len(graphs))
+	for _, qg := range graphs {
+		best := 0.0
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			if err := fn(qg); err != nil {
+				return nil, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+func rankTimer(r rank.Ranker) func(*graph.QueryGraph) error {
+	return func(qg *graph.QueryGraph) error {
+		_, err := r.Rank(qg)
+		return err
+	}
+}
+
+// Figure8 reproduces the efficiency study on the scenario-1 query
+// graphs.
+func (s *Suite) Figure8() (Fig8Result, error) {
+	graphs := s.Graphs12
+	seed := s.Opts.Seed
+	var result Fig8Result
+
+	for _, qg := range graphs {
+		result.AvgNodes += float64(qg.NumNodes())
+		result.AvgEdges += float64(qg.NumEdges())
+	}
+	result.AvgNodes /= float64(len(graphs))
+	result.AvgEdges /= float64(len(graphs))
+
+	// Panel A.
+	type cfg struct {
+		name    string
+		ranker  rank.Ranker
+		paperMS float64
+	}
+	panelA := []cfg{
+		{"M1 (MC 10000)", &rank.MonteCarlo{Trials: 10000, Seed: seed}, 731},
+		{"M2 (MC 1000)", &rank.MonteCarlo{Trials: 1000, Seed: seed}, 74},
+		{"C (closed)", rank.Exact{}, 97},
+		{"R&M1", &rank.MonteCarlo{Trials: 10000, Seed: seed, Reduce: true}, 151},
+		{"R&M2", &rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}, 18},
+		{"R&C (reduce+closed)", reduceThenExact{}, 20},
+	}
+	for _, c := range panelA {
+		ms, err := timePerGraph(graphs, rankTimer(c.ranker))
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		result.A = append(result.A, Fig8Row{Method: c.name, MS: apStat(ms), PaperMS: c.paperMS})
+	}
+
+	// Panel B: the five methods, reliability in the paper's benchmark
+	// configuration (reduction + 1000-trial Monte Carlo).
+	panelB := []cfg{
+		{"reliability", &rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}, 17.9},
+		{"propagation", &rank.Propagation{}, 5.2},
+		{"diffusion", &rank.Diffusion{}, 5.8},
+		{"inedge", rank.InEdge{}, 0.5},
+		{"pathcount", rank.PathCount{}, 1.0},
+	}
+	for _, c := range panelB {
+		ms, err := timePerGraph(graphs, rankTimer(c.ranker))
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		result.B = append(result.B, Fig8Row{Method: c.name, MS: apStat(ms), PaperMS: c.paperMS})
+	}
+
+	// Headline speedups: naive vs traversal vs reduce+traversal.
+	naiveMS, err := timePerGraph(graphs, rankTimer(&rank.MonteCarlo{Trials: 1000, Seed: seed, Naive: true}))
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	travMS, err := timePerGraph(graphs, rankTimer(&rank.MonteCarlo{Trials: 1000, Seed: seed}))
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	redMS, err := timePerGraph(graphs, rankTimer(&rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}))
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	naive, trav, red := apStat(naiveMS).Mean, apStat(travMS).Mean, apStat(redMS).Mean
+	if trav > 0 {
+		result.TraversalSpeedup = naive / trav
+	}
+	if red > 0 {
+		result.ReductionSpeedup = naive / red
+	}
+
+	// Average element reduction of the rules.
+	var elem float64
+	for _, qg := range graphs {
+		_, stats := rank.Reduce(qg)
+		elem += stats.ElemReduction()
+	}
+	result.ElemReduction = elem / float64(len(graphs))
+	return result, nil
+}
+
+// reduceThenExact is the R&C configuration: reduce the multi-target
+// graph once, then solve each target exactly.
+type reduceThenExact struct{}
+
+// Name implements rank.Ranker.
+func (reduceThenExact) Name() string { return "reduce+exact" }
+
+// Rank implements rank.Ranker.
+func (reduceThenExact) Rank(qg *graph.QueryGraph) (rank.Result, error) {
+	red, _, mapping := rank.ReduceAll(qg)
+	inner, err := rank.Exact{}.Rank(red)
+	if err != nil {
+		return rank.Result{}, err
+	}
+	scores := make([]float64, len(qg.Answers))
+	for i, j := range mapping {
+		if j >= 0 {
+			scores[i] = inner.Scores[j]
+		}
+	}
+	return rank.Result{Method: "reduce+exact", Scores: scores}, nil
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file renders experiment results as fixed-width text tables, the
+// format cmd/experiments prints and EXPERIMENTS.md embeds.
+
+// RenderTable1 renders Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: golden-standard proteins (paper Table 1)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %6s\n", "Protein", "#iProClass", "#BioRank", "%")
+	sumK, sumN := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %12d %5.0f%%\n", r.Protein, r.GoldenCount, r.CandidateCount, 100*r.Ratio)
+		sumK += r.GoldenCount
+		sumN += r.CandidateCount
+	}
+	fmt.Fprintf(&b, "%-10s %12d %12d %5.0f%%\n", "Sum", sumK, sumN, 100*float64(sumK)/float64(sumN))
+	return b.String()
+}
+
+// RenderFig5 renders one Figure 5 panel.
+func RenderFig5(p Fig5Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5%c — Scenario %d (%s)\n", 'a'+rune(p.Scenario-1), p.Scenario, p.Description)
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "Method", "AP", "Stdv", "Paper")
+	for _, r := range p.Rows {
+		fmt.Fprintf(&b, "%-12s %8.2f %8.2f %8.2f\n", r.Method, r.AP.Mean, r.AP.Std, r.Paper)
+	}
+	return b.String()
+}
+
+// RenderRanks renders Table 2 or Table 3.
+func RenderRanks(title string, rows []FunctionRanks) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s %-12s %10s %10s %10s %10s %10s %8s\n",
+		"Protein", "Function", "Rel", "Prop", "Diff", "InEdge", "PathC", "Random")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-12s %10s %10s %10s %10s %10s %8s\n",
+			r.Protein, r.Function,
+			r.Ranks["reliability"], r.Ranks["propagation"], r.Ranks["diffusion"],
+			r.Ranks["inedge"], r.Ranks["pathcount"],
+			fmt.Sprintf("1-%d", r.ListSize))
+	}
+	fmt.Fprintf(&b, "%-10s %-12s", "Mean", "")
+	for _, m := range MethodNames {
+		fmt.Fprintf(&b, " %10.1f", MeanRank(rows, m))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderFig6 renders one Figure 6 panel.
+func RenderFig6(p Fig6Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — sensitivity: scenario %d, %s\n", p.Scenario, p.Method)
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s\n", "Sigma", "AP", "Stdv", "CI95", "Paper")
+	for i, c := range p.Cells {
+		name := fmt.Sprintf("%.1f", c.Sigma)
+		if c.Sigma == 0 {
+			name = "default"
+		}
+		paper := 0.0
+		if i < len(p.Paper) {
+			paper = p.Paper[i]
+		}
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.3f %8.2f\n", name, c.AP.Mean, c.AP.Std, c.CI95, paper)
+	}
+	paperRandom := 0.0
+	if len(p.Paper) > 0 {
+		paperRandom = p.Paper[len(p.Paper)-1]
+	}
+	fmt.Fprintf(&b, "%-10s %8.2f %8s %8s %8.2f\n", "random", p.RandomAP, "-", "-", paperRandom)
+	return b.String()
+}
+
+// RenderFig7 renders the convergence curve.
+func RenderFig7(r Fig7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — Monte Carlo convergence (scenario 1, reliability)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "#Trials", "AP", "Stdv")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-10d %8.2f %8.2f\n", p.Trials, p.AP.Mean, p.AP.Std)
+	}
+	fmt.Fprintf(&b, "%-10s %8.2f\n", "closed", r.ClosedAP)
+	fmt.Fprintf(&b, "%-10s %8.2f\n", "random", r.RandomAP)
+	return b.String()
+}
+
+// RenderFig8 renders both panels of the efficiency study.
+func RenderFig8(r Fig8Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8a — reliability computation time (ms per query graph)\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %12s\n", "Method", "Mean", "Stdv", "Paper(2008)")
+	for _, row := range r.A {
+		fmt.Fprintf(&b, "%-22s %10.2f %10.2f %12.0f\n", row.Method, row.MS.Mean, row.MS.Std, row.PaperMS)
+	}
+	fmt.Fprintf(&b, "\nFigure 8b — time of the 5 ranking methods (ms per query graph)\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %12s\n", "Method", "Mean", "Stdv", "Paper(2008)")
+	for _, row := range r.B {
+		fmt.Fprintf(&b, "%-22s %10.2f %10.2f %12.1f\n", row.Method, row.MS.Mean, row.MS.Std, row.PaperMS)
+	}
+	fmt.Fprintf(&b, "\nHeadline numbers (Section 4, efficiency):\n")
+	fmt.Fprintf(&b, "  traversal-MC speedup vs naive: %.1fx (paper: 3.4x)\n", r.TraversalSpeedup)
+	fmt.Fprintf(&b, "  reduction+MC speedup vs naive: %.1fx (paper: 13.4x)\n", r.ReductionSpeedup)
+	fmt.Fprintf(&b, "  reduction removes %.0f%% of nodes+edges (paper: 78%%)\n", 100*r.ElemReduction)
+	fmt.Fprintf(&b, "  avg query graph: %.0f nodes, %.0f edges (paper: 520, 695)\n", r.AvgNodes, r.AvgEdges)
+	return b.String()
+}
+
+// RenderFig4 renders the Figure 4 score table.
+func RenderFig4(rows []Figure4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — the five semantics on two micro graphs\n")
+	fmt.Fprintf(&b, "%-28s", "Graph")
+	for _, m := range MethodNames {
+		fmt.Fprintf(&b, " %12s", m)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s", r.Graph)
+		methods := make([]string, 0, len(r.Scores))
+		for m := range r.Scores {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		for _, m := range MethodNames {
+			fmt.Fprintf(&b, " %12.4f", r.Scores[m])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingSpeedupsGrowWithSize(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Scaling([]int{50, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	small, large := rows[0], rows[1]
+	if large.Nodes <= small.Nodes {
+		t.Fatal("sizes not increasing")
+	}
+	// The reduction rules thrive on the long chains: the element
+	// reduction should be substantial at any size.
+	for _, r := range rows {
+		if r.ElemReduction < 0.4 {
+			t.Errorf("%d-node graph reduced only %.0f%%", r.Nodes, 100*r.ElemReduction)
+		}
+		// Even best-of-three timings wobble under CI contention; only a
+		// gross inversion indicates a real regression.
+		if r.TraversalSpeedup < 0.7 {
+			t.Errorf("%d-node graph: traversal much slower than naive (%.2fx)", r.Nodes, r.TraversalSpeedup)
+		}
+	}
+	// Larger graphs must benefit at least as much from reduction (the
+	// explanation for the Figure 8 magnitude gap). Timing noise on a
+	// busy machine can wobble this; allow a generous margin.
+	if large.ReductionSpeedup < small.ReductionSpeedup*0.6 {
+		t.Errorf("reduction speedup shrank with size: %.1fx -> %.1fx",
+			small.ReductionSpeedup, large.ReductionSpeedup)
+	}
+	if !strings.Contains(RenderScaling(rows), "Scaling") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import "fmt"
+
+// QueryGraph is the probabilistic query graph of Definition 2.3: a
+// probabilistic entity graph together with a distinguished query node s
+// and an answer set A ⊂ N. Relevance functions (internal/rank) score the
+// answer nodes of a QueryGraph.
+type QueryGraph struct {
+	*Graph
+	Source  NodeID
+	Answers []NodeID
+}
+
+// NewQueryGraph validates and builds a query graph over g.
+func NewQueryGraph(g *Graph, source NodeID, answers []NodeID) (*QueryGraph, error) {
+	if !g.valid(source) {
+		return nil, fmt.Errorf("graph: source node %d out of range", source)
+	}
+	seen := make(map[NodeID]struct{}, len(answers))
+	for _, a := range answers {
+		if !g.valid(a) {
+			return nil, fmt.Errorf("graph: answer node %d out of range", a)
+		}
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("graph: duplicate answer node %d", a)
+		}
+		seen[a] = struct{}{}
+	}
+	return &QueryGraph{Graph: g, Source: source, Answers: answers}, nil
+}
+
+// Prune returns a new query graph restricted to nodes that lie on some
+// directed path from the source to an answer node (the source and answers
+// themselves always survive). Nodes outside that set can never influence
+// any of the five relevance semantics, so pruning is a safe preprocessing
+// step shared by all rankers.
+func (qg *QueryGraph) Prune() *QueryGraph {
+	fromS := qg.Reachable(qg.Source)
+	toA := qg.CoReachable(qg.Answers)
+	keep := make([]bool, qg.NumNodes())
+	for i := range keep {
+		keep[i] = fromS[i] && toA[i]
+	}
+	keep[qg.Source] = true
+	sub, remap := qg.InducedSubgraph(keep)
+	answers := make([]NodeID, 0, len(qg.Answers))
+	for _, a := range qg.Answers {
+		if remap[a] >= 0 {
+			answers = append(answers, remap[a])
+		}
+	}
+	out, err := NewQueryGraph(sub, remap[qg.Source], answers)
+	if err != nil {
+		// Cannot happen: remapped IDs are valid by construction.
+		panic(err)
+	}
+	return out
+}
+
+// CloneShallowProbs returns a copy of the query graph sharing structure
+// but with independently mutable probabilities. Used by the sensitivity
+// analysis, which perturbs probabilities m times per graph.
+func (qg *QueryGraph) CloneShallowProbs() *QueryGraph {
+	g := qg.Graph.Clone()
+	return &QueryGraph{Graph: g, Source: qg.Source, Answers: append([]NodeID(nil), qg.Answers...)}
+}
+
+// AnswerIndex returns a map from answer node ID to its index within the
+// Answers slice.
+func (qg *QueryGraph) AnswerIndex() map[NodeID]int {
+	idx := make(map[NodeID]int, len(qg.Answers))
+	for i, a := range qg.Answers {
+		idx[a] = i
+	}
+	return idx
+}

@@ -1,0 +1,146 @@
+package mediator
+
+import (
+	"testing"
+
+	"biorank/internal/bio"
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+	"biorank/internal/sources"
+)
+
+// extendedMiniWorld augments miniWorld with the optional sources:
+// UniProt, PIRSF, CDD, SuperFamily and PDB.
+func extendedMiniWorld(t *testing.T) *sources.Registry {
+	t.Helper()
+	reg := miniWorld(t)
+	rng := prob.NewRNG(555)
+
+	uni := sources.NewUniProt()
+	if err := uni.Add(sources.UniProtEntry{
+		Accession: "UP_Q", Gene: "TESTG", Reviewed: true,
+		Functions: []bio.TermID{"GO:0000004"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := uni.Add(sources.UniProtEntry{
+		Accession: "UP_Q2", Gene: "TESTG", Reviewed: false,
+		Functions: []bio.TermID{"GO:0000005"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg.UniProt = uni
+
+	// Profile families built around the query protein's own sequence.
+	qprot, _ := reg.EntrezProtein.ByAccession("NP_Q")
+	makeDomain := func(name, kind string, fn bio.TermID) *sources.DomainDB {
+		db := sources.NewDomainDB(name, kind, 0.35)
+		members := make([]bio.Sequence, 6)
+		for i := range members {
+			members[i] = bio.Mutate(rng, qprot.Seq, 0.1)
+		}
+		db.Add(sources.BuildProfile(name+"_FAM", members, []bio.TermID{fn}))
+		return db
+	}
+	reg.PIRSF = makeDomain("PIRSF", KindPIRSF, "GO:0000006")
+	reg.CDD = makeDomain("CDD", KindCDD, "GO:0000007")
+	reg.SuperFamily = makeDomain("SuperFamily", KindSuperFamily, "GO:0000008")
+
+	reg.AmiGO.Add(sources.Annotation{Term: "GO:0000004", Evidence: "IDA"}, nil)
+	reg.AmiGO.Add(sources.Annotation{Term: "GO:0000005", Evidence: "IEA"}, nil)
+	reg.AmiGO.Add(sources.Annotation{Term: "GO:0000006", Evidence: "ISS"}, nil)
+	reg.AmiGO.Add(sources.Annotation{Term: "GO:0000007", Evidence: "ISS"}, nil)
+	reg.AmiGO.Add(sources.Annotation{Term: "GO:0000008", Evidence: "ISS"}, nil)
+
+	pdb := sources.NewPDB()
+	if err := pdb.Add(sources.PDBEntry{ID: "9XYZ", Accession: "NP_Q", Method: "X-RAY"}); err != nil {
+		t.Fatal(err)
+	}
+	reg.PDB = pdb
+	return reg
+}
+
+func TestExtendedPathsReachFunctions(t *testing.T) {
+	m, err := New(extendedMiniWorld(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := m.Explore("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, a := range qg.Answers {
+		labels[qg.Node(a).Label] = true
+	}
+	for _, want := range []string{
+		"GO:0000004", // UniProt reviewed
+		"GO:0000005", // UniProt unreviewed
+		"GO:0000006", // PIRSF
+		"GO:0000007", // CDD
+		"GO:0000008", // SuperFamily
+	} {
+		if !labels[want] {
+			t.Errorf("extended path did not deliver %s (answers: %v)", want, labels)
+		}
+	}
+}
+
+func TestUniProtReviewedTrustedMore(t *testing.T) {
+	m, _ := New(extendedMiniWorld(t), DefaultConfig())
+	g, err := m.Integrate("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, ok := g.Lookup(KindUniProt, "UP_Q")
+	if !ok {
+		t.Fatal("reviewed UniProt node missing")
+	}
+	unrev, ok := g.Lookup(KindUniProt, "UP_Q2")
+	if !ok {
+		t.Fatal("unreviewed UniProt node missing")
+	}
+	if g.Node(rev).P <= g.Node(unrev).P {
+		t.Fatalf("reviewed entry (p=%v) should be trusted above unreviewed (p=%v)",
+			g.Node(rev).P, g.Node(unrev).P)
+	}
+}
+
+func TestPDBStructuresIntegratedButPruned(t *testing.T) {
+	m, _ := New(extendedMiniWorld(t), DefaultConfig())
+	g, err := m.Integrate("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Lookup(KindStructure, "9XYZ"); !ok {
+		t.Fatal("PDB structure missing from integrated graph")
+	}
+	qg, err := m.Explore("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < qg.NumNodes(); i++ {
+		if qg.Node(graph.NodeID(i)).Kind == KindStructure {
+			t.Fatal("structure node survived answer-directed pruning")
+		}
+	}
+}
+
+func TestPIRSFTrustedAbovePfamDefaults(t *testing.T) {
+	// Section 2: "our collaborators have evidence that results from
+	// PIRSF are more accurate than Pfam" — the defaults must encode it.
+	cfg := DefaultConfig()
+	if cfg.PS[KindPIRSF] <= cfg.PS[KindPfam] {
+		t.Fatalf("PIRSF ps %v should exceed Pfam ps %v", cfg.PS[KindPIRSF], cfg.PS[KindPfam])
+	}
+	if cfg.QS[RelPIRSFMatch] <= cfg.QS[RelBlast1] {
+		t.Fatal("adjacency-aware matchers must be trusted above BLAST")
+	}
+}
+
+func TestConfigDefaultsForUnknownKinds(t *testing.T) {
+	cfg := Config{}
+	if cfg.ps("anything") != 1 || cfg.qs("anything") != 1 {
+		t.Fatal("unset confidences should default to 1")
+	}
+}

@@ -1,0 +1,115 @@
+package mediator
+
+import (
+	"testing"
+
+	"biorank/internal/bio"
+	"biorank/internal/rank"
+)
+
+// testOntology builds a 3-level chain: GO:0000002 is-a GO:0000010 is-a
+// GO:0000011 (root), so annotating GO:0000002 also implies the two
+// ancestors.
+func testOntology(t *testing.T) *bio.Ontology {
+	t.Helper()
+	o := bio.NewOntology()
+	for _, step := range []struct {
+		id      bio.TermID
+		parents []bio.TermID
+	}{
+		{"GO:0000011", nil},
+		{"GO:0000010", []bio.TermID{"GO:0000011"}},
+		{"GO:0000002", []bio.TermID{"GO:0000010"}},
+	} {
+		if err := o.AddTerm(step.id, string(step.id), step.parents...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestTruePathRuleExpandsAncestors(t *testing.T) {
+	reg := miniWorld(t)
+	cfg := DefaultConfig()
+	cfg.Ontology = testOntology(t)
+	m, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := m.Explore("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]int{}
+	for i, a := range qg.Answers {
+		labels[qg.Node(a).Label] = i
+	}
+	for _, want := range []string{"GO:0000002", "GO:0000010", "GO:0000011"} {
+		if _, ok := labels[want]; !ok {
+			t.Fatalf("true-path rule did not surface %s (answers: %v)", want, labels)
+		}
+	}
+	// Specific terms must outrank the ancestors they imply (the is-a
+	// damping), under exact reliability.
+	scores, _, err := rank.ExactReliability(qg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := scores[labels["GO:0000002"]]
+	mid := scores[labels["GO:0000010"]]
+	root := scores[labels["GO:0000011"]]
+	if !(child > mid && mid > root) {
+		t.Fatalf("specificity ordering violated: child %v, mid %v, root %v", child, mid, root)
+	}
+}
+
+func TestOntologyOffByDefault(t *testing.T) {
+	m, err := New(miniWorld(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := m.Explore("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range qg.Answers {
+		if qg.Node(a).Label == "GO:0000010" || qg.Node(a).Label == "GO:0000011" {
+			t.Fatal("ancestors appeared without an ontology configured")
+		}
+	}
+}
+
+func TestTruePathRuleSharedAncestorsAccumulate(t *testing.T) {
+	// Two sibling functions share a parent: the parent must receive
+	// is-a edges from both (converging generalized evidence).
+	o := bio.NewOntology()
+	if err := o.AddTerm("GO:0000099", "parent"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []bio.TermID{"GO:0000001", "GO:0000002"} {
+		if err := o.AddTerm(c, string(c), "GO:0000099"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := miniWorld(t)
+	cfg := DefaultConfig()
+	cfg.Ontology = o
+	m, _ := New(reg, cfg)
+	g, err := m.Integrate("TESTG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, ok := g.Lookup(KindFunction, "GO:0000099")
+	if !ok {
+		t.Fatal("shared parent missing")
+	}
+	isA := 0
+	for _, eid := range g.In(parent) {
+		if g.Edge(eid).Kind == RelIsA {
+			isA++
+		}
+	}
+	if isA != 2 {
+		t.Fatalf("shared parent has %d is-a edges, want 2", isA)
+	}
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"testing"
+
+	"biorank/internal/prob"
+)
+
+func benchItems(n int, tieLevels int) []Item {
+	rng := prob.NewRNG(5)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Score:    float64(rng.Intn(tieLevels)) / float64(tieLevels),
+			Relevant: rng.Bernoulli(0.2),
+		}
+	}
+	items[0].Relevant = true
+	return items
+}
+
+func BenchmarkAveragePrecisionNoTies(b *testing.B) {
+	items := benchItems(1000, 1000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ap := AveragePrecision(items); ap <= 0 {
+			b.Fatal("bad ap")
+		}
+	}
+}
+
+func BenchmarkAveragePrecisionHeavyTies(b *testing.B) {
+	items := benchItems(1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ap := AveragePrecision(items); ap <= 0 {
+			b.Fatal("bad ap")
+		}
+	}
+}
+
+func BenchmarkRandomAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if RandomAP(13, 97) <= 0 {
+			b.Fatal("bad ap")
+		}
+	}
+}

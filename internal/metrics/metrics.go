@@ -1,0 +1,163 @@
+// Package metrics implements the ranking-quality measures of Section 4 of
+// the paper: average precision (AP) evaluated at 100% recall, computed
+// analytically in the presence of tied scores following McSherry & Najork
+// (ECIR 2008), the expected AP of a randomly ordered list (Definition
+// 4.1), and the rank intervals that Tables 2 and 3 report for tied
+// answers.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Item is one ranked answer: its relevance score under some ranking
+// method and whether it is relevant according to the golden standard.
+type Item struct {
+	Label    string
+	Score    float64
+	Relevant bool
+}
+
+// AveragePrecision returns the expected average precision at 100% recall
+// of the given items when sorted by descending score, with ties broken
+// uniformly at random. For a block of n_g tied items containing r_g
+// relevant ones, preceded by N items of which R are relevant, the
+// expected contribution is computed in closed form (each within-block
+// position is equally likely to hold a relevant item, and the count of
+// relevant items above it within the block is hypergeometric):
+//
+//	Σ_{j=1..n_g} (r_g/n_g) · (R + 1 + (j−1)(r_g−1)/(n_g−1)) / (N+j)
+//
+// summed over blocks and divided by the total number k of relevant items.
+// This equals the exact mean of AP over all permutations of tied items
+// (verified against brute-force enumeration in the tests) and reduces to
+// Definition 4.1 when all items tie. Returns 0 when no item is relevant.
+func AveragePrecision(items []Item) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	k := 0
+	for _, it := range sorted {
+		if it.Relevant {
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	nPrev, rPrev := 0, 0
+	for start := 0; start < len(sorted); {
+		end := start + 1
+		for end < len(sorted) && sorted[end].Score == sorted[start].Score {
+			end++
+		}
+		ng := end - start
+		rg := 0
+		for i := start; i < end; i++ {
+			if sorted[i].Relevant {
+				rg++
+			}
+		}
+		if rg > 0 {
+			slope := 0.0
+			if ng > 1 {
+				slope = float64(rg-1) / float64(ng-1)
+			}
+			frac := float64(rg) / float64(ng)
+			for j := 1; j <= ng; j++ {
+				expectedAbove := float64(rPrev) + 1 + float64(j-1)*slope
+				sum += frac * expectedAbove / float64(nPrev+j)
+			}
+		}
+		nPrev += ng
+		rPrev += rg
+		start = end
+	}
+	return sum / float64(k)
+}
+
+// RandomAP is Definition 4.1: the expected AP of a randomly sorted list
+// of n items of which k are relevant. It is the single-tie-block special
+// case of AveragePrecision.
+func RandomAP(k, n int) float64 {
+	if k <= 0 || n <= 0 || k > n {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += (float64(k-1)*float64(i-1) + float64(n-1)) /
+			(float64(i) * float64(n-1) * float64(n))
+	}
+	return sum
+}
+
+// RankInterval returns the 1-based best and worst possible rank of item i
+// when the items are sorted by descending score with ties broken
+// arbitrarily: lo = 1 + |{j : score_j > score_i}| and
+// hi = |{j : score_j ≥ score_i}|. Tables 2 and 3 of the paper report
+// these intervals (e.g. "34-97" for a function tied across most of the
+// answer list).
+func RankInterval(scores []float64, i int) (lo, hi int) {
+	above, atLeast := 0, 0
+	for _, s := range scores {
+		if s > scores[i] {
+			above++
+		}
+		if s >= scores[i] {
+			atLeast++
+		}
+	}
+	return above + 1, atLeast
+}
+
+// ExpectedRank returns the expected 1-based rank of item i under uniform
+// random tie breaking: the midpoint of its rank interval.
+func ExpectedRank(scores []float64, i int) float64 {
+	lo, hi := RankInterval(scores, i)
+	return (float64(lo) + float64(hi)) / 2
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than
+// two values).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// ConfidenceInterval95 returns the half-width of the normal-approximation
+// 95% confidence interval of the mean of xs. The paper reports these for
+// the sensitivity analysis ("confidence intervals (95%) were very
+// narrow").
+func ConfidenceInterval95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * Stddev(xs) / math.Sqrt(float64(len(xs)))
+}

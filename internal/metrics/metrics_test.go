@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biorank/internal/prob"
+)
+
+// conventionalAP computes AP for a fully ordered relevance vector, the
+// textbook definition: (1/k) Σ_i P@i·rel_i.
+func conventionalAP(rel []bool) float64 {
+	k := 0
+	for _, r := range rel {
+		if r {
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	seen := 0
+	for i, r := range rel {
+		if r {
+			seen++
+			sum += float64(seen) / float64(i+1)
+		}
+	}
+	return sum / float64(k)
+}
+
+// bruteTieAP enumerates all permutations of the items that respect the
+// score ordering (i.e. permutes within tie blocks only) and returns the
+// mean conventional AP. Exponential; for small inputs only.
+func bruteTieAP(items []Item) float64 {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	var (
+		total float64
+		count int
+	)
+	var permute func(k int)
+	permute = func(k int) {
+		if k == len(idx) {
+			// Check the permutation is non-increasing in score.
+			for i := 1; i < len(idx); i++ {
+				if items[idx[i-1]].Score < items[idx[i]].Score {
+					return
+				}
+			}
+			rel := make([]bool, len(idx))
+			for i, j := range idx {
+				rel[i] = items[j].Relevant
+			}
+			total += conventionalAP(rel)
+			count++
+			return
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			permute(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	permute(0)
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func TestAPNoTiesMatchesConventional(t *testing.T) {
+	items := []Item{
+		{Score: 0.9, Relevant: true},
+		{Score: 0.8, Relevant: false},
+		{Score: 0.7, Relevant: true},
+		{Score: 0.6, Relevant: false},
+		{Score: 0.5, Relevant: true},
+	}
+	want := conventionalAP([]bool{true, false, true, false, true})
+	if got := AveragePrecision(items); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", got, want)
+	}
+}
+
+func TestAPPerfectRanking(t *testing.T) {
+	items := []Item{
+		{Score: 3, Relevant: true},
+		{Score: 2, Relevant: true},
+		{Score: 1, Relevant: false},
+	}
+	if got := AveragePrecision(items); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect ranking AP = %v, want 1", got)
+	}
+}
+
+func TestAPWorstRanking(t *testing.T) {
+	// One relevant item at the bottom of n: AP = 1/n.
+	items := []Item{
+		{Score: 3, Relevant: false},
+		{Score: 2, Relevant: false},
+		{Score: 1, Relevant: true},
+	}
+	if got := AveragePrecision(items); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("worst ranking AP = %v, want 1/3", got)
+	}
+}
+
+func TestAPEmptyAndIrrelevant(t *testing.T) {
+	if AveragePrecision(nil) != 0 {
+		t.Error("empty list should have AP 0")
+	}
+	if AveragePrecision([]Item{{Score: 1}}) != 0 {
+		t.Error("no relevant items should have AP 0")
+	}
+}
+
+func TestAPWithTiesMatchesBruteForce(t *testing.T) {
+	rng := prob.NewRNG(3)
+	scores := []float64{0.1, 0.5, 0.9}
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(6)
+		items := make([]Item, n)
+		anyRel := false
+		for i := range items {
+			items[i] = Item{
+				Score:    scores[rng.Intn(len(scores))],
+				Relevant: rng.Bernoulli(0.4),
+			}
+			anyRel = anyRel || items[i].Relevant
+		}
+		if !anyRel {
+			items[0].Relevant = true
+		}
+		want := bruteTieAP(items)
+		got := AveragePrecision(items)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: analytic %v vs brute force %v for %+v", trial, got, want, items)
+		}
+	}
+}
+
+func TestAPAllTiedEqualsRandomAP(t *testing.T) {
+	// A single tie block is exactly Definition 4.1.
+	for _, c := range []struct{ k, n int }{{1, 5}, {2, 7}, {3, 3}, {5, 20}, {13, 97}} {
+		items := make([]Item, c.n)
+		for i := range items {
+			items[i] = Item{Score: 0.5, Relevant: i < c.k}
+		}
+		got := AveragePrecision(items)
+		want := RandomAP(c.k, c.n)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("k=%d n=%d: all-tied AP %v vs RandomAP %v", c.k, c.n, got, want)
+		}
+	}
+}
+
+func TestRandomAPKnownValues(t *testing.T) {
+	// k = n: every ordering is perfect.
+	if got := RandomAP(5, 5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RandomAP(5,5) = %v, want 1", got)
+	}
+	// k=1, n=2: orderings (rel first: AP=1), (rel second: AP=1/2); mean 3/4.
+	if got := RandomAP(1, 2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("RandomAP(1,2) = %v, want 0.75", got)
+	}
+	// Degenerate inputs.
+	if RandomAP(0, 5) != 0 || RandomAP(3, 2) != 0 || RandomAP(-1, 5) != 0 {
+		t.Fatal("degenerate RandomAP inputs should yield 0")
+	}
+	if RandomAP(1, 1) != 1 {
+		t.Fatal("RandomAP(1,1) should be 1")
+	}
+}
+
+func TestRandomAPMonotoneInK(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 2 + int(raw%30)
+		prev := 0.0
+		for k := 1; k <= n; k++ {
+			v := RandomAP(k, n)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomAPScenarioBaselines(t *testing.T) {
+	// Sanity-check against the paper's random baselines: scenario 1 has
+	// per-protein (k,n) pairs averaging AP ≈ 0.42 (Fig 5a). Spot check
+	// ABCC8 (13 of 97): random AP should be well below 0.5 and above
+	// k/n.
+	ap := RandomAP(13, 97)
+	if ap < 0.134 || ap > 0.30 {
+		t.Fatalf("RandomAP(13,97) = %v, implausible", ap)
+	}
+}
+
+func TestRankInterval(t *testing.T) {
+	scores := []float64{0.9, 0.5, 0.5, 0.5, 0.1}
+	lo, hi := RankInterval(scores, 0)
+	if lo != 1 || hi != 1 {
+		t.Fatalf("top item interval [%d,%d], want [1,1]", lo, hi)
+	}
+	lo, hi = RankInterval(scores, 2)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("tied item interval [%d,%d], want [2,4]", lo, hi)
+	}
+	lo, hi = RankInterval(scores, 4)
+	if lo != 5 || hi != 5 {
+		t.Fatalf("bottom item interval [%d,%d], want [5,5]", lo, hi)
+	}
+}
+
+func TestExpectedRank(t *testing.T) {
+	scores := []float64{0.5, 0.5}
+	if got := ExpectedRank(scores, 0); got != 1.5 {
+		t.Fatalf("ExpectedRank = %v, want 1.5", got)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %v, want 5", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138) > 0.001 {
+		t.Fatalf("stddev %v, want ~2.138", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	ci := ConfidenceInterval95(xs)
+	if ci <= 0 || ci > 0.2 {
+		t.Fatalf("CI = %v, implausible", ci)
+	}
+	if ConfidenceInterval95(nil) != 0 {
+		t.Fatal("empty CI should be 0")
+	}
+}
+
+func TestAPInvariantToItemOrder(t *testing.T) {
+	// AP must depend only on (score, relevant) multiset, not input order.
+	rng := prob.NewRNG(9)
+	items := []Item{
+		{Score: 0.9, Relevant: true},
+		{Score: 0.5, Relevant: false},
+		{Score: 0.5, Relevant: true},
+		{Score: 0.2, Relevant: false},
+		{Score: 0.2, Relevant: true},
+	}
+	want := AveragePrecision(items)
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Item(nil), items...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := AveragePrecision(shuffled); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("AP depends on input order: %v vs %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package prob
+
+import "math"
+
+// This file implements the log-odds machinery used by the multi-way
+// sensitivity analysis of Section 4: normally distributed noise is added
+// to the log-odds of a probability and converted back, following Henrion
+// et al. (UAI 1996). The approach avoids range checks and gives direct
+// control over the amount of noise.
+
+// logOddsEps bounds probabilities away from {0,1} before taking log-odds,
+// so that perturbation is defined for degenerate inputs. Probabilities at
+// exactly 0 or 1 would otherwise map to ±Inf and be unperturbable.
+const logOddsEps = 1e-9
+
+// LogOdds returns ln(p/(1-p)) with p clamped to (eps, 1-eps).
+func LogOdds(p float64) float64 {
+	p = clampOpen(p)
+	return math.Log(p / (1 - p))
+}
+
+// InvLogOdds is the logistic function, the inverse of LogOdds.
+func InvLogOdds(l float64) float64 {
+	// Numerically stable in both tails.
+	if l >= 0 {
+		e := math.Exp(-l)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(l)
+	return e / (1 + e)
+}
+
+func clampOpen(p float64) float64 {
+	switch {
+	case p < logOddsEps:
+		return logOddsEps
+	case p > 1-logOddsEps:
+		return 1 - logOddsEps
+	case math.IsNaN(p):
+		return logOddsEps
+	default:
+		return p
+	}
+}
+
+// PerturbLogOdds returns p' = Lo⁻¹(Lo(p) + e) with e ~ Normal(0, sigma),
+// the perturbation method of the paper's sensitivity analysis. sigma = 0
+// returns p (up to the clamping of degenerate values).
+func PerturbLogOdds(rng *RNG, p, sigma float64) float64 {
+	if sigma == 0 {
+		return Clamp01(p)
+	}
+	return InvLogOdds(LogOdds(p) + rng.Normal(0, sigma))
+}

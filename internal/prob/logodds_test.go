@@ -1,0 +1,119 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogOddsKnownPoints(t *testing.T) {
+	if got := LogOdds(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("LogOdds(0.5)=%v want 0", got)
+	}
+	if got := InvLogOdds(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("InvLogOdds(0)=%v want 0.5", got)
+	}
+	// Symmetry: Lo(p) = -Lo(1-p).
+	for _, p := range []float64{0.1, 0.25, 0.4, 0.7, 0.9} {
+		if got := LogOdds(p) + LogOdds(1-p); math.Abs(got) > 1e-9 {
+			t.Errorf("LogOdds symmetry violated at %v: %v", p, got)
+		}
+	}
+}
+
+func TestLogOddsRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-6 || p > 1-1e-6 {
+			return true
+		}
+		back := InvLogOdds(LogOdds(p))
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvLogOddsStableTails(t *testing.T) {
+	if got := InvLogOdds(1000); got != 1 {
+		t.Errorf("InvLogOdds(1000)=%v want 1", got)
+	}
+	if got := InvLogOdds(-1000); got != 0 {
+		t.Errorf("InvLogOdds(-1000)=%v want 0", got)
+	}
+	// Monotone.
+	prev := -1.0
+	for l := -20.0; l <= 20; l += 0.5 {
+		v := InvLogOdds(l)
+		if v < prev {
+			t.Fatalf("InvLogOdds not monotone at %v", l)
+		}
+		prev = v
+	}
+}
+
+func TestLogOddsDegenerateInputs(t *testing.T) {
+	// 0 and 1 must produce finite log-odds (clamped), so perturbation is
+	// always defined.
+	if math.IsInf(LogOdds(0), 0) || math.IsInf(LogOdds(1), 0) {
+		t.Fatal("LogOdds of degenerate probabilities must be finite")
+	}
+	if math.IsNaN(LogOdds(math.NaN())) {
+		t.Fatal("LogOdds(NaN) must not be NaN")
+	}
+}
+
+func TestPerturbZeroSigmaIsIdentity(t *testing.T) {
+	rng := NewRNG(1)
+	for _, p := range []float64{0, 0.2, 0.5, 0.8, 1} {
+		if got := PerturbLogOdds(rng, p, 0); got != Clamp01(p) {
+			t.Errorf("sigma=0 perturbation changed %v to %v", p, got)
+		}
+	}
+}
+
+func TestPerturbStaysInUnitInterval(t *testing.T) {
+	rng := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		p := rng.Float64()
+		got := PerturbLogOdds(rng, p, 3)
+		if got < 0 || got > 1 {
+			t.Fatalf("perturbed probability %v out of range", got)
+		}
+	}
+}
+
+func TestPerturbIsCenteredForSmallSigma(t *testing.T) {
+	// With sigma=0.5, the median of p' should stay near p; check the mean
+	// of the log-odds rather than p' itself (the logistic is nonlinear).
+	rng := NewRNG(3)
+	const n = 50000
+	p := 0.7
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += LogOdds(PerturbLogOdds(rng, p, 0.5))
+	}
+	if got, want := sum/n, LogOdds(p); math.Abs(got-want) > 0.02 {
+		t.Fatalf("mean perturbed log-odds %v, want ~%v", got, want)
+	}
+}
+
+func TestPerturbSpreadGrowsWithSigma(t *testing.T) {
+	spread := func(sigma float64) float64 {
+		rng := NewRNG(4)
+		const n = 20000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := PerturbLogOdds(rng, 0.5, sigma)
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		return sumsq/n - mean*mean
+	}
+	small, large := spread(0.5), spread(3)
+	if large <= small {
+		t.Fatalf("variance should grow with sigma: %v vs %v", small, large)
+	}
+}

@@ -1,0 +1,180 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) returned %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 8000 {
+			t.Fatalf("value %d badly underrepresented: %d/60000", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRNG(9)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", freq)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(2, 3)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("normal mean %v, want ~2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Fatalf("normal variance %v, want ~9", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("exp mean %v, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(19)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(4)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("poisson mean %v, want ~4", mean)
+	}
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) should be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(29)
+	s := r.Split()
+	// The two streams should not be identical.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream overlaps parent: %d matches", same)
+	}
+}

@@ -1,0 +1,127 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the uncertainty-to-probability transformation
+// functions of Section 2 of the paper. Each source record carries either a
+// categorical certainty attribute (a curation status code or a GO evidence
+// code) or a numerical one (a BLAST/HMM e-value); transformation functions
+// convert those attribute values into the record-level probabilities pr
+// and qr.
+
+// Table is a categorical transformation function: it maps the value of a
+// record's certainty attribute (e.g. an EntrezGene status code) to a
+// probability.
+type Table struct {
+	name    string
+	entries map[string]float64
+	def     float64 // returned for unknown codes
+}
+
+// NewTable returns a categorical transformation function with the given
+// name, mapping and default probability for unknown codes.
+func NewTable(name string, entries map[string]float64, def float64) *Table {
+	cp := make(map[string]float64, len(entries))
+	for k, v := range entries {
+		if v < 0 || v > 1 {
+			panic(fmt.Sprintf("prob: table %s entry %q=%g outside [0,1]", name, k, v))
+		}
+		cp[k] = v
+	}
+	return &Table{name: name, entries: cp, def: def}
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Prob returns the probability assigned to code, or the table default if
+// the code is unknown.
+func (t *Table) Prob(code string) float64 {
+	if p, ok := t.entries[code]; ok {
+		return p
+	}
+	return t.def
+}
+
+// Codes returns the known codes in deterministic (sorted) order.
+func (t *Table) Codes() []string {
+	out := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntrezGeneStatus is the pr transformation for EntrezGene records
+// (paper Section 2, left table).
+var EntrezGeneStatus = NewTable("EntrezGene.StatusCode", map[string]float64{
+	"Reviewed":    1.0,
+	"Validated":   0.8,
+	"Provisional": 0.7,
+	"Predicted":   0.4,
+	"Model":       0.3,
+	"Inferred":    0.2,
+}, 0.2)
+
+// AmiGOEvidence is the pr transformation for AmiGO annotation records
+// (paper Section 2, right table). Evidence codes follow the Gene Ontology
+// convention: IDA "inferred from direct assay" is the most reliable, IEA
+// "inferred from electronic annotation" among the least.
+var AmiGOEvidence = NewTable("AmiGO.EvidenceCode", map[string]float64{
+	"IDA": 1.0,
+	"TAS": 1.0,
+	"IGI": 0.9,
+	"IMP": 0.9,
+	"IPI": 0.9,
+	"IEP": 0.7,
+	"ISS": 0.7,
+	"RCA": 0.7,
+	"IC":  0.6,
+	"NAS": 0.5,
+	"IEA": 0.3,
+	"ND":  0.2,
+	"NR":  0.2,
+}, 0.2)
+
+// EValueScale is the denominator of the paper's e-value transform
+// qr = -(1/300)·ln(e-value). An e-value of exp(-300)≈5e-131 maps to
+// probability 1; e-value 1 maps to 0.
+const EValueScale = 300.0
+
+// EValueProb converts a similarity e-value into a record probability using
+// the paper's transform qr = -(1/300)·log(e-value), clamped to [0,1].
+// Smaller e-values (stronger matches) yield larger probabilities.
+func EValueProb(evalue float64) float64 {
+	if evalue <= 0 {
+		return 1
+	}
+	p := -math.Log(evalue) / EValueScale
+	return Clamp01(p)
+}
+
+// ProbEValue is the inverse of EValueProb on (0,1): it returns the e-value
+// whose transform equals p. Useful for planting synthetic evidence of a
+// chosen strength.
+func ProbEValue(p float64) float64 {
+	p = Clamp01(p)
+	return math.Exp(-p * EValueScale)
+}
+
+// Clamp01 clamps x to the closed unit interval.
+func Clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	case math.IsNaN(x):
+		return 0
+	default:
+		return x
+	}
+}

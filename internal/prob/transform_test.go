@@ -1,0 +1,112 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntrezGeneStatusTable(t *testing.T) {
+	cases := map[string]float64{
+		"Reviewed":    1.0,
+		"Validated":   0.8,
+		"Provisional": 0.7,
+		"Predicted":   0.4,
+		"Model":       0.3,
+		"Inferred":    0.2,
+	}
+	for code, want := range cases {
+		if got := EntrezGeneStatus.Prob(code); got != want {
+			t.Errorf("EntrezGene %s: got %v want %v", code, got, want)
+		}
+	}
+	if got := EntrezGeneStatus.Prob("NoSuchCode"); got != 0.2 {
+		t.Errorf("unknown code default: got %v want 0.2", got)
+	}
+}
+
+func TestAmiGOEvidenceTable(t *testing.T) {
+	cases := map[string]float64{
+		"IDA": 1.0, "TAS": 1.0,
+		"IGI": 0.9, "IMP": 0.9, "IPI": 0.9,
+		"IEP": 0.7, "ISS": 0.7, "RCA": 0.7,
+		"IC": 0.6, "NAS": 0.5, "IEA": 0.3,
+		"ND": 0.2, "NR": 0.2,
+	}
+	for code, want := range cases {
+		if got := AmiGOEvidence.Prob(code); got != want {
+			t.Errorf("AmiGO %s: got %v want %v", code, got, want)
+		}
+	}
+}
+
+func TestTableCodesSorted(t *testing.T) {
+	codes := EntrezGeneStatus.Codes()
+	if len(codes) != 6 {
+		t.Fatalf("want 6 codes, got %d", len(codes))
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Fatalf("codes not sorted: %v", codes)
+		}
+	}
+}
+
+func TestTableRejectsBadProbability(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range probability")
+		}
+	}()
+	NewTable("bad", map[string]float64{"x": 1.5}, 0)
+}
+
+func TestEValueProbKnownPoints(t *testing.T) {
+	// e-value 1 → 0; e-value e^-300 → 1; e-value e^-150 → 0.5.
+	if got := EValueProb(1); got != 0 {
+		t.Errorf("EValueProb(1)=%v want 0", got)
+	}
+	if got := EValueProb(math.Exp(-300)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("EValueProb(e^-300)=%v want 1", got)
+	}
+	if got := EValueProb(math.Exp(-150)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("EValueProb(e^-150)=%v want 0.5", got)
+	}
+	// Stronger matches yield higher probability.
+	if EValueProb(1e-50) <= EValueProb(1e-10) {
+		t.Error("EValueProb not monotone decreasing in e-value")
+	}
+	// Degenerate inputs.
+	if EValueProb(0) != 1 {
+		t.Error("EValueProb(0) should be 1")
+	}
+	if EValueProb(10) != 0 {
+		t.Error("large e-values should clamp to 0")
+	}
+}
+
+func TestEValueRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := Clamp01(math.Abs(math.Mod(raw, 1)))
+		if p == 0 || p == 1 {
+			return true
+		}
+		back := EValueProb(ProbEValue(p))
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1},
+		{math.Inf(1), 1}, {math.Inf(-1), 0}, {math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v)=%v want %v", c.in, got, c.want)
+		}
+	}
+}

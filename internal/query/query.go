@@ -1,0 +1,88 @@
+// Package query implements the exploratory queries of Definition 2.2:
+// the user selects an input entity set P, an attribute predicate, and
+// output entity sets P1..Pn; the system finds all records of P matching
+// the predicate, follows all links recursively, and returns the reachable
+// records of the output sets as a ranked answer set.
+//
+// A query executes against a materialized probabilistic entity graph
+// (built by internal/mediator from the integrated sources) by adding a
+// fresh query node s linked to every matching record and collecting the
+// reachable output records as the answer set A, yielding the
+// probabilistic query graph of Definition 2.3.
+package query
+
+import (
+	"fmt"
+
+	"biorank/internal/graph"
+)
+
+// QueryKind is the node kind of the synthetic query node added to the
+// entity graph.
+const QueryKind = "Query"
+
+// Exploratory is an exploratory query (P.attr = "value", {P1..Pn}).
+type Exploratory struct {
+	// InputKind is the entity set P searched by keyword.
+	InputKind string
+	// Match is the attribute predicate on records of P (e.g. name
+	// equality). A nil Match matches every record of P.
+	Match func(n graph.Node) bool
+	// OutputKinds are the output entity sets P1..Pn.
+	OutputKinds []string
+	// Keyword documents the query for display purposes.
+	Keyword string
+}
+
+// Run executes the query against the entity graph g. The graph is not
+// modified; the result is a pruned copy containing the query node, the
+// matched input records, and everything on a path to a reachable answer.
+func (q Exploratory) Run(g *graph.Graph) (*graph.QueryGraph, error) {
+	if q.InputKind == "" {
+		return nil, fmt.Errorf("query: input entity set required")
+	}
+	if len(q.OutputKinds) == 0 {
+		return nil, fmt.Errorf("query: at least one output entity set required")
+	}
+	out := make(map[string]bool, len(q.OutputKinds))
+	for _, k := range q.OutputKinds {
+		if k == QueryKind {
+			return nil, fmt.Errorf("query: %q cannot be an output entity set", QueryKind)
+		}
+		out[k] = true
+	}
+
+	// Copy the entity graph and add the query node.
+	work := g.Clone()
+	src := work.AddNode(QueryKind, q.Keyword, 1)
+	matched := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(graph.NodeID(i))
+		if n.Kind != q.InputKind {
+			continue
+		}
+		if q.Match == nil || q.Match(n) {
+			// The keyword match itself is certain: q = 1.
+			work.AddEdge(src, n.ID, "match", 1)
+			matched++
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("query: no %s record matches %q", q.InputKind, q.Keyword)
+	}
+
+	// Answer set: reachable records of the output sets.
+	reach := work.Reachable(src)
+	var answers []graph.NodeID
+	for i := 0; i < work.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		if reach[id] && out[work.Node(id).Kind] && id != src {
+			answers = append(answers, id)
+		}
+	}
+	qg, err := graph.NewQueryGraph(work, src, answers)
+	if err != nil {
+		return nil, err
+	}
+	return qg.Prune(), nil
+}

@@ -1,0 +1,134 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"biorank/internal/graph"
+)
+
+// entityGraph builds a small integrated graph:
+//
+//	P/p1 -> G/g1 -> F/f1
+//	P/p1 -> G/g2 -> F/f2
+//	P/p2 -> G/g2
+//	X/island (disconnected)
+func entityGraph() *graph.Graph {
+	g := graph.New(8, 8)
+	p1 := g.AddNode("P", "p1", 1)
+	p2 := g.AddNode("P", "p2", 1)
+	g1 := g.AddNode("G", "g1", 0.8)
+	g2 := g.AddNode("G", "g2", 0.7)
+	f1 := g.AddNode("F", "f1", 0.9)
+	f2 := g.AddNode("F", "f2", 0.9)
+	g.AddNode("X", "island", 1)
+	g.AddEdge(p1, g1, "r", 0.5)
+	g.AddEdge(p1, g2, "r", 0.5)
+	g.AddEdge(p2, g2, "r", 0.5)
+	g.AddEdge(g1, f1, "r", 1)
+	g.AddEdge(g2, f2, "r", 1)
+	return g
+}
+
+func TestExploratoryBasic(t *testing.T) {
+	g := entityGraph()
+	q := Exploratory{
+		InputKind:   "P",
+		Match:       func(n graph.Node) bool { return n.Label == "p1" },
+		OutputKinds: []string{"F"},
+		Keyword:     "p1",
+	}
+	qg, err := q.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qg.Answers) != 2 {
+		t.Fatalf("want 2 answers, got %d", len(qg.Answers))
+	}
+	if qg.Node(qg.Source).Kind != QueryKind {
+		t.Fatal("source is not a query node")
+	}
+	// The original graph must be untouched.
+	if g.NumNodes() != 7 {
+		t.Fatalf("entity graph mutated: %d nodes", g.NumNodes())
+	}
+	// Pruning must drop the island and p2 (p2 matches nothing and leads
+	// nowhere new... p2 is not matched, so it is not connected to s).
+	for i := 0; i < qg.NumNodes(); i++ {
+		if qg.Node(graph.NodeID(i)).Label == "island" || qg.Node(graph.NodeID(i)).Label == "p2" {
+			t.Fatalf("pruning failed, %s survived", qg.Node(graph.NodeID(i)).Label)
+		}
+	}
+}
+
+func TestExploratoryNilMatchMatchesAll(t *testing.T) {
+	g := entityGraph()
+	q := Exploratory{InputKind: "P", OutputKinds: []string{"F"}, Keyword: "*"}
+	qg, err := q.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both proteins matched: answers still f1,f2.
+	if len(qg.Answers) != 2 {
+		t.Fatalf("want 2 answers, got %d", len(qg.Answers))
+	}
+	// p2 must now be part of the query graph.
+	found := false
+	for i := 0; i < qg.NumNodes(); i++ {
+		if qg.Node(graph.NodeID(i)).Label == "p2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("matched record p2 missing from query graph")
+	}
+}
+
+func TestExploratoryMultipleOutputKinds(t *testing.T) {
+	g := entityGraph()
+	q := Exploratory{InputKind: "P", OutputKinds: []string{"F", "G"}, Keyword: "*"}
+	qg, err := q.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qg.Answers) != 4 { // g1, g2, f1, f2
+		t.Fatalf("want 4 answers, got %d", len(qg.Answers))
+	}
+}
+
+func TestExploratoryErrors(t *testing.T) {
+	g := entityGraph()
+	if _, err := (Exploratory{OutputKinds: []string{"F"}}).Run(g); err == nil {
+		t.Error("missing input kind accepted")
+	}
+	if _, err := (Exploratory{InputKind: "P"}).Run(g); err == nil {
+		t.Error("missing output kinds accepted")
+	}
+	if _, err := (Exploratory{InputKind: "P", OutputKinds: []string{QueryKind}}).Run(g); err == nil {
+		t.Error("Query output kind accepted")
+	}
+	q := Exploratory{
+		InputKind:   "P",
+		Match:       func(n graph.Node) bool { return false },
+		OutputKinds: []string{"F"},
+		Keyword:     "nothing",
+	}
+	_, err := q.Run(g)
+	if err == nil || !strings.Contains(err.Error(), "no P record") {
+		t.Errorf("no-match error wrong: %v", err)
+	}
+}
+
+func TestExploratoryMatchEdgesAreCertain(t *testing.T) {
+	g := entityGraph()
+	q := Exploratory{InputKind: "P", OutputKinds: []string{"F"}, Keyword: "*"}
+	qg, err := q.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eid := range qg.Out(qg.Source) {
+		if e := qg.Edge(eid); e.Q != 1 {
+			t.Fatalf("match edge has q=%v, want 1", e.Q)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+func TestAdaptiveMatchesExact(t *testing.T) {
+	rng := prob.NewRNG(83)
+	for trial := 0; trial < 10; trial++ {
+		qg := randomDAG(rng)
+		exact := bruteReliability(qg)
+		a := &AdaptiveMonteCarlo{Seed: uint64(trial), MaxTrials: 200000}
+		scores, used, err := a.RankWithTrials(qg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if used <= 0 || used > 200000 {
+			t.Fatalf("trial count %d out of range", used)
+		}
+		for i := range exact {
+			// The stopping rule certifies ordering, not values; allow a
+			// looser tolerance than fixed-n tests.
+			if math.Abs(scores[i]-exact[i]) > 0.05 {
+				t.Errorf("trial %d answer %d: adaptive %v vs exact %v (n=%d)",
+					trial, i, scores[i], exact[i], used)
+			}
+		}
+	}
+}
+
+func TestAdaptiveStopsEarlyOnSeparatedScores(t *testing.T) {
+	// Two answers with reliabilities 0.9 and 0.1: a huge gap should be
+	// certified with far fewer trials than the cap.
+	g := graph.New(3, 2)
+	s := g.AddNode("Q", "s", 1)
+	hi := g.AddNode("A", "hi", 1)
+	lo := g.AddNode("A", "lo", 1)
+	g.AddEdge(s, hi, "r", 0.9)
+	g.AddEdge(s, lo, "r", 0.1)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{hi, lo})
+	a := &AdaptiveMonteCarlo{Seed: 1, Batch: 200, MaxTrials: 100000}
+	_, used, err := a.RankWithTrials(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used >= 10000 {
+		t.Fatalf("well-separated scores should stop early, used %d trials", used)
+	}
+}
+
+func TestAdaptiveTreatsTinyGapsAsTies(t *testing.T) {
+	// Two nearly identical answers: the rule must not chase the
+	// sub-epsilon gap to the trial cap.
+	g := graph.New(3, 2)
+	s := g.AddNode("Q", "s", 1)
+	a1 := g.AddNode("A", "a1", 1)
+	a2 := g.AddNode("A", "a2", 1)
+	g.AddEdge(s, a1, "r", 0.500)
+	g.AddEdge(s, a2, "r", 0.505)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{a1, a2})
+	am := &AdaptiveMonteCarlo{Seed: 2, Eps: 0.02, Batch: 500, MaxTrials: 400000}
+	_, used, err := am.RankWithTrials(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used >= 400000 {
+		t.Fatalf("sub-epsilon gap should be treated as a tie, used %d trials", used)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	qg := fig4b()
+	am := &AdaptiveMonteCarlo{Seed: 7}
+	s1, n1, err := am.RankWithTrials(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, n2, err := am.RankWithTrials(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || s1[0] != s2[0] {
+		t.Fatal("adaptive MC not deterministic for a fixed seed")
+	}
+}
+
+func TestAdaptiveWithReduction(t *testing.T) {
+	rng := prob.NewRNG(89)
+	qg := randomDAG(rng)
+	exact := bruteReliability(qg)
+	am := &AdaptiveMonteCarlo{Seed: 3, Reduce: true, MaxTrials: 200000}
+	scores, _, err := am.RankWithTrials(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(scores[i]-exact[i]) > 0.05 {
+			t.Errorf("answer %d: %v vs %v", i, scores[i], exact[i])
+		}
+	}
+}
+
+func TestAdaptiveRejectsNil(t *testing.T) {
+	if _, err := (&AdaptiveMonteCarlo{}).Rank(nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestAdaptiveString(t *testing.T) {
+	s := (&AdaptiveMonteCarlo{}).String()
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -1,0 +1,134 @@
+package rank
+
+import (
+	"testing"
+
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+// benchGraph builds a layered DAG shaped like a scenario query graph:
+// source -> 1 protein -> width hits -> width genes -> answers functions.
+func benchGraph(width, answers int) *graph.QueryGraph {
+	rng := prob.NewRNG(99)
+	g := graph.New(2+2*width+answers, 4*width)
+	s := g.AddNode("Q", "s", 1)
+	p := g.AddNode("P", "p", 1)
+	g.AddEdge(s, p, "m", 1)
+	var funcs []graph.NodeID
+	for i := 0; i < answers; i++ {
+		funcs = append(funcs, g.AddNode("F", nodeLabel(9, i), 0.2+0.8*rng.Float64()))
+	}
+	for i := 0; i < width; i++ {
+		h := g.AddNode("H", nodeLabel(0, i), 1)
+		ge := g.AddNode("G", nodeLabel(1, i), 0.3+0.7*rng.Float64())
+		g.AddEdge(p, h, "b1", 0.1+0.9*rng.Float64())
+		g.AddEdge(h, ge, "b2", 1)
+		// Each gene annotates 1-3 functions.
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			g.AddEdge(ge, funcs[rng.Intn(len(funcs))], "a", 1)
+		}
+	}
+	qg, err := graph.NewQueryGraph(g, s, funcs)
+	if err != nil {
+		panic(err)
+	}
+	return qg.Prune()
+}
+
+func BenchmarkTraversalMC1000(b *testing.B) {
+	qg := benchGraph(150, 50)
+	mc := &MonteCarlo{Trials: 1000, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaiveMC1000(b *testing.B) {
+	qg := benchGraph(150, 50)
+	mc := &MonteCarlo{Trials: 1000, Seed: 1, Naive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	qg := benchGraph(150, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red, _ := Reduce(qg)
+		if red.NumNodes() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkExactFactoring(b *testing.B) {
+	qg := benchGraph(60, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExactReliability(qg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropagationLarge(b *testing.B) {
+	qg := benchGraph(300, 100)
+	p := &Propagation{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiffusionLarge(b *testing.B) {
+	qg := benchGraph(300, 100)
+	d := &Diffusion{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiffusionIterativeInner(b *testing.B) {
+	qg := benchGraph(300, 100)
+	d := &Diffusion{Iterative: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathCountLarge(b *testing.B) {
+	qg := benchGraph(300, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (PathCount{}).Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWheatstoneExact(b *testing.B) {
+	qg := fig4b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ExactReliability(qg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

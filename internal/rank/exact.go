@@ -1,0 +1,251 @@
+package rank
+
+import (
+	"errors"
+	"fmt"
+
+	"biorank/internal/graph"
+)
+
+// This file implements the "tractable closed solution" of Section 3.1.3
+// and an exact fallback. For each target node individually we:
+//
+//  1. Reify node failures into edge failures (a node v with p(v)<1 is
+//     split into v_in → v_out with an edge of probability p(v)), the
+//     standard reduction the paper cites for the generalized source-
+//     target reliability problem.
+//  2. Apply the reduction rules of Section 3.1.2 to fixpoint.
+//  3. If the graph has fully reduced (no uncertain edges remain, or a
+//     single s→t edge), read off the reliability — this is the paper's
+//     closed solution, available exactly when the schema is reducible in
+//     the sense of Theorem 3.2.
+//  4. Otherwise fall back to the factoring (conditioning) method: pick an
+//     uncertain edge e and recurse on both worlds,
+//     R = q(e)·R[e present] + (1−q(e))·R[e absent], re-reducing at every
+//     step. This computes the exact value on irreducible graphs (e.g.
+//     the Wheatstone bridge of Fig. 2c) at exponential worst-case cost,
+//     which the ConditioningBudget caps.
+
+// ErrBudgetExhausted is returned when exact evaluation needs more
+// factoring steps than allowed (the graph is far from reducible).
+var ErrBudgetExhausted = errors.New("rank: exact reliability conditioning budget exhausted")
+
+// Exact computes reliability scores exactly.
+type Exact struct {
+	// ConditioningBudget caps the total number of factoring subproblems
+	// per target; 0 means DefaultConditioningBudget.
+	ConditioningBudget int
+}
+
+// DefaultConditioningBudget bounds factoring recursion per target.
+const DefaultConditioningBudget = 1 << 20
+
+// Name implements Ranker.
+func (Exact) Name() string { return "reliability-exact" }
+
+// Rank implements Ranker.
+func (e Exact) Rank(qg *graph.QueryGraph) (Result, error) {
+	if err := validate(qg); err != nil {
+		return Result{}, err
+	}
+	scores, _, err := ExactReliability(qg, e.budget())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Method: e.Name(), Scores: scores}, nil
+}
+
+func (e Exact) budget() int {
+	if e.ConditioningBudget > 0 {
+		return e.ConditioningBudget
+	}
+	return DefaultConditioningBudget
+}
+
+// ExactReliability returns the exact reliability of every answer node,
+// together with the number of factoring (conditioning) steps each target
+// required. A count of zero means the subgraph to that target was fully
+// reducible and the score is the paper's closed solution.
+func ExactReliability(qg *graph.QueryGraph, budget int) (scores []float64, conditionings []int, err error) {
+	if budget <= 0 {
+		budget = DefaultConditioningBudget
+	}
+	scores = make([]float64, len(qg.Answers))
+	conditionings = make([]int, len(qg.Answers))
+	for i, t := range qg.Answers {
+		s, c, err := exactTarget(qg, t, budget)
+		if err != nil {
+			return nil, nil, fmt.Errorf("target %s/%s: %w",
+				qg.Node(t).Kind, qg.Node(t).Label, err)
+		}
+		scores[i] = s
+		conditionings[i] = c
+	}
+	return scores, conditionings, nil
+}
+
+// ClosedForm attempts the closed solution of Section 3.1.3 for every
+// answer: it succeeds for a target iff its source-target subgraph fully
+// reduces without factoring. reducible[i] reports whether answer i was
+// solved purely by reductions.
+func ClosedForm(qg *graph.QueryGraph) (scores []float64, reducible []bool, err error) {
+	s, cond, err := ExactReliability(qg, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	red := make([]bool, len(cond))
+	for i, c := range cond {
+		red[i] = c == 0
+	}
+	return s, red, nil
+}
+
+// exactTarget computes the exact reliability of a single target.
+func exactTarget(qg *graph.QueryGraph, t graph.NodeID, budget int) (float64, int, error) {
+	if t == qg.Source {
+		return qg.Node(t).P, 0, nil
+	}
+	rg := reify(qg, t)
+	steps := 0
+	v, err := solveFactoring(rg, budget, &steps)
+	return v, steps, err
+}
+
+// reify builds a single-target reduction graph in which every node
+// probability has been moved onto an edge, so the factoring recursion
+// only has to condition on edges.
+func reify(qg *graph.QueryGraph, t graph.NodeID) *redGraph {
+	n := qg.NumNodes()
+	rg := &redGraph{src: -1}
+	// inID/outID: the reified entry and exit node for each original node.
+	inID := make([]int32, n)
+	outID := make([]int32, n)
+	addNode := func(kind, label string) int32 {
+		id := int32(len(rg.alive))
+		rg.alive = append(rg.alive, true)
+		rg.p = append(rg.p, 1)
+		rg.kind = append(rg.kind, kind)
+		rg.label = append(rg.label, label)
+		rg.in = append(rg.in, nil)
+		rg.out = append(rg.out, nil)
+		rg.isTarget = append(rg.isTarget, false)
+		return id
+	}
+	for i := 0; i < n; i++ {
+		nd := qg.Node(graph.NodeID(i))
+		if nd.P >= 1 {
+			id := addNode(nd.Kind, nd.Label)
+			inID[i], outID[i] = id, id
+		} else {
+			a := addNode(nd.Kind, nd.Label+"#in")
+			b := addNode(nd.Kind, nd.Label+"#out")
+			rg.addEdge(a, b, nd.P)
+			inID[i], outID[i] = a, b
+		}
+	}
+	for i := 0; i < qg.NumEdges(); i++ {
+		e := qg.Edge(graph.EdgeID(i))
+		rg.addEdge(outID[e.From], inID[e.To], e.Q)
+	}
+	rg.src = inID[qg.Source]
+	rg.isTarget[outID[t]] = true
+	return rg
+}
+
+// clone deep-copies a redGraph for factoring branches.
+func (rg *redGraph) clone() *redGraph {
+	c := &redGraph{
+		alive:    append([]bool(nil), rg.alive...),
+		p:        append([]float64(nil), rg.p...),
+		kind:     append([]string(nil), rg.kind...),
+		label:    append([]string(nil), rg.label...),
+		in:       make([][]int32, len(rg.in)),
+		out:      make([][]int32, len(rg.out)),
+		eAlive:   append([]bool(nil), rg.eAlive...),
+		eFrom:    append([]int32(nil), rg.eFrom...),
+		eTo:      append([]int32(nil), rg.eTo...),
+		eQ:       append([]float64(nil), rg.eQ...),
+		src:      rg.src,
+		isTarget: append([]bool(nil), rg.isTarget...),
+	}
+	for i := range rg.in {
+		c.in[i] = append([]int32(nil), rg.in[i]...)
+	}
+	for i := range rg.out {
+		c.out[i] = append([]int32(nil), rg.out[i]...)
+	}
+	return c
+}
+
+// target returns the single live target, or -1.
+func (rg *redGraph) target() int32 {
+	for i, isT := range rg.isTarget {
+		if isT && rg.alive[i] {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// pickUncertainEdge chooses the edge to condition on: prefer an uncertain
+// edge leaving the source (conditioning near the source lets pruning
+// collapse whole subgraphs), else any uncertain edge.
+func (rg *redGraph) pickUncertainEdge() int32 {
+	for _, e := range rg.liveOut(rg.src) {
+		if rg.eQ[e] > 0 && rg.eQ[e] < 1 {
+			return e
+		}
+	}
+	for id := range rg.eAlive {
+		if rg.eAlive[id] && rg.eQ[id] > 0 && rg.eQ[id] < 1 {
+			return int32(id)
+		}
+	}
+	return -1
+}
+
+func solveFactoring(rg *redGraph, budget int, steps *int) (float64, error) {
+	rg.run()
+	t := rg.target()
+	if t < 0 || !rg.alive[rg.src] {
+		return 0, nil
+	}
+	e := rg.pickUncertainEdge()
+	if e < 0 {
+		// All live edges are certain and the target survived pruning,
+		// hence it is reachable with probability 1.
+		return 1, nil
+	}
+	// Special case: the reduced graph is exactly one uncertain edge s→t.
+	if rg.eFrom[e] == rg.src && rg.eTo[e] == t && rg.liveEdgeCount() == 1 {
+		return rg.eQ[e], nil
+	}
+	*steps++
+	if *steps > budget {
+		return 0, ErrBudgetExhausted
+	}
+	q := rg.eQ[e]
+	present := rg.clone()
+	present.eQ[e] = 1
+	absent := rg // reuse current allocation for the absent branch
+	absent.killEdge(e)
+	rp, err := solveFactoring(present, budget, steps)
+	if err != nil {
+		return 0, err
+	}
+	ra, err := solveFactoring(absent, budget, steps)
+	if err != nil {
+		return 0, err
+	}
+	return q*rp + (1-q)*ra, nil
+}
+
+func (rg *redGraph) liveEdgeCount() int {
+	n := 0
+	for _, a := range rg.eAlive {
+		if a {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,181 @@
+package rank
+
+import (
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+// This file contains the independent test oracle for reliability: a
+// brute-force enumeration over all possible worlds (every subset of
+// uncertain nodes and edges). It is deliberately written without sharing
+// any code with the production solvers.
+
+// bruteReliability computes exact per-answer reliability by enumerating
+// every possible world. Only usable for graphs with a small number of
+// uncertain elements (p or q strictly between 0 and 1).
+func bruteReliability(qg *graph.QueryGraph) []float64 {
+	type elem struct {
+		isNode bool
+		idx    int
+		p      float64
+	}
+	var elems []elem
+	for i := 0; i < qg.NumNodes(); i++ {
+		if p := qg.Node(graph.NodeID(i)).P; p > 0 && p < 1 {
+			elems = append(elems, elem{isNode: true, idx: i, p: p})
+		}
+	}
+	for i := 0; i < qg.NumEdges(); i++ {
+		if q := qg.Edge(graph.EdgeID(i)).Q; q > 0 && q < 1 {
+			elems = append(elems, elem{isNode: false, idx: i, p: q})
+		}
+	}
+	if len(elems) > 24 {
+		panic("bruteReliability: too many uncertain elements")
+	}
+	scores := make([]float64, len(qg.Answers))
+	nodeUp := make([]bool, qg.NumNodes())
+	edgeUp := make([]bool, qg.NumEdges())
+	for world := 0; world < 1<<len(elems); world++ {
+		// Base state from certain elements.
+		for i := 0; i < qg.NumNodes(); i++ {
+			nodeUp[i] = qg.Node(graph.NodeID(i)).P >= 1
+		}
+		for i := 0; i < qg.NumEdges(); i++ {
+			edgeUp[i] = qg.Edge(graph.EdgeID(i)).Q >= 1
+		}
+		w := 1.0
+		for b, el := range elems {
+			up := world&(1<<b) != 0
+			if up {
+				w *= el.p
+			} else {
+				w *= 1 - el.p
+			}
+			if el.isNode {
+				nodeUp[el.idx] = up
+			} else {
+				edgeUp[el.idx] = up
+			}
+		}
+		if w == 0 || !nodeUp[qg.Source] {
+			continue
+		}
+		// Reachability in this world.
+		seen := make([]bool, qg.NumNodes())
+		stack := []graph.NodeID{qg.Source}
+		seen[qg.Source] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, eid := range qg.Out(x) {
+				if !edgeUp[eid] {
+					continue
+				}
+				to := qg.Edge(eid).To
+				if !seen[to] && nodeUp[to] {
+					seen[to] = true
+					stack = append(stack, to)
+				}
+			}
+		}
+		for i, a := range qg.Answers {
+			if seen[a] {
+				scores[i] += w
+			}
+		}
+	}
+	return scores
+}
+
+// randomDAG builds a small random layered DAG query graph for property
+// tests: 2-4 layers, random probabilities from a small set, answers =
+// all final-layer nodes. The number of uncertain elements is capped so
+// the brute-force oracle stays tractable.
+func randomDAG(rng *prob.RNG) *graph.QueryGraph {
+	const maxUncertain = 18
+	probs := []float64{0.2, 0.5, 0.8, 1}
+	uncertain := 0
+	pick := func() float64 {
+		if uncertain >= maxUncertain {
+			return 1
+		}
+		p := probs[rng.Intn(len(probs))]
+		if p < 1 {
+			uncertain++
+		}
+		return p
+	}
+	g := graph.New(12, 20)
+	src := g.AddNode("Q", "s", 1)
+	layers := [][]graph.NodeID{{src}}
+	nLayers := 2 + rng.Intn(3)
+	for l := 0; l < nLayers; l++ {
+		width := 1 + rng.Intn(3)
+		var layer []graph.NodeID
+		for i := 0; i < width; i++ {
+			layer = append(layer, g.AddNode("L", nodeLabel(l, i), pick()))
+		}
+		// Connect each new node to 1-2 nodes in any previous layer.
+		for _, n := range layer {
+			conns := 1 + rng.Intn(2)
+			for c := 0; c < conns; c++ {
+				pl := layers[rng.Intn(len(layers))]
+				from := pl[rng.Intn(len(pl))]
+				g.AddEdge(from, n, "r", pick())
+			}
+		}
+		layers = append(layers, layer)
+	}
+	answers := layers[len(layers)-1]
+	qg, err := graph.NewQueryGraph(g, src, answers)
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+func nodeLabel(l, i int) string {
+	return string(rune('a'+l)) + string(rune('0'+i))
+}
+
+// fig4a builds the serial-parallel graph of Figure 4a: two length-3
+// paths from s to u sharing the initial 0.5 edge; all other
+// probabilities 1.
+func fig4a() *graph.QueryGraph {
+	g := graph.New(5, 5)
+	s := g.AddNode("Q", "s", 1)
+	a := g.AddNode("X", "a", 1)
+	b := g.AddNode("X", "b", 1)
+	c := g.AddNode("X", "c", 1)
+	u := g.AddNode("A", "u", 1)
+	g.AddEdge(s, a, "r", 0.5)
+	g.AddEdge(a, b, "r", 1)
+	g.AddEdge(a, c, "r", 1)
+	g.AddEdge(b, u, "r", 1)
+	g.AddEdge(c, u, "r", 1)
+	qg, err := graph.NewQueryGraph(g, s, []graph.NodeID{u})
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+// fig4b builds the Wheatstone bridge of Figure 4b with every edge at 0.5.
+func fig4b() *graph.QueryGraph {
+	g := graph.New(4, 5)
+	s := g.AddNode("Q", "s", 1)
+	a := g.AddNode("X", "a", 1)
+	b := g.AddNode("X", "b", 1)
+	u := g.AddNode("A", "u", 1)
+	g.AddEdge(s, a, "r", 0.5)
+	g.AddEdge(s, b, "r", 0.5)
+	g.AddEdge(a, u, "r", 0.5)
+	g.AddEdge(b, u, "r", 0.5)
+	g.AddEdge(a, b, "r", 0.5) // the bridge
+	qg, err := graph.NewQueryGraph(g, s, []graph.NodeID{u})
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}

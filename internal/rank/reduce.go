@@ -1,0 +1,359 @@
+package rank
+
+import "biorank/internal/graph"
+
+// This file implements the graph transformation rules of Section 3.1.2:
+//
+//   - Delete inaccessible nodes: remove a sink node that is not a target.
+//   - Collapse serial paths: a node x with a single incoming edge (y,x)
+//     and single outgoing edge (x,z) is removed and replaced by an edge
+//     (y,z) with q = q(y,x)·p(x)·q(x,z).
+//   - Collapse parallel paths: parallel edges from x to y merge into one
+//     edge with q = 1-∏(1-q_i).
+//
+// We additionally apply the following safe cleanups, all of which
+// preserve source-target reliability for every surviving target and are
+// standard in the network reliability literature: removal of edges with
+// q=0, removal of self-loops, removal of nodes unreachable from the
+// source, and removal of nodes from which no target can be reached. The
+// rules run to fixpoint.
+
+// ReduceStats reports the effect of a reduction pass.
+type ReduceStats struct {
+	NodesBefore, NodesAfter int
+	EdgesBefore, EdgesAfter int
+}
+
+// ElemReduction returns the fraction of nodes+edges removed, the figure
+// the paper quotes as "-78% in edges and nodes in our experiments".
+func (s ReduceStats) ElemReduction() float64 {
+	before := s.NodesBefore + s.EdgesBefore
+	if before == 0 {
+		return 0
+	}
+	after := s.NodesAfter + s.EdgesAfter
+	return 1 - float64(after)/float64(before)
+}
+
+// redGraph is a mutable multigraph used by the reduction engine.
+type redGraph struct {
+	// node state
+	alive []bool
+	p     []float64
+	kind  []string
+	label []string
+	in    [][]int32 // live+dead edge IDs; compacted lazily
+	out   [][]int32
+
+	// edge state
+	eAlive []bool
+	eFrom  []int32
+	eTo    []int32
+	eQ     []float64
+
+	src      int32
+	isTarget []bool
+}
+
+func newRedGraph(qg *graph.QueryGraph) *redGraph {
+	n := qg.NumNodes()
+	m := qg.NumEdges()
+	rg := &redGraph{
+		alive:    make([]bool, n),
+		p:        make([]float64, n),
+		kind:     make([]string, n),
+		label:    make([]string, n),
+		in:       make([][]int32, n),
+		out:      make([][]int32, n),
+		eAlive:   make([]bool, 0, m),
+		eFrom:    make([]int32, 0, m),
+		eTo:      make([]int32, 0, m),
+		eQ:       make([]float64, 0, m),
+		src:      int32(qg.Source),
+		isTarget: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		nd := qg.Node(graph.NodeID(i))
+		rg.alive[i] = true
+		rg.p[i] = nd.P
+		rg.kind[i] = nd.Kind
+		rg.label[i] = nd.Label
+	}
+	for _, a := range qg.Answers {
+		rg.isTarget[a] = true
+	}
+	for i := 0; i < m; i++ {
+		e := qg.Edge(graph.EdgeID(i))
+		rg.addEdge(int32(e.From), int32(e.To), e.Q)
+	}
+	return rg
+}
+
+func (rg *redGraph) addEdge(from, to int32, q float64) int32 {
+	id := int32(len(rg.eAlive))
+	rg.eAlive = append(rg.eAlive, true)
+	rg.eFrom = append(rg.eFrom, from)
+	rg.eTo = append(rg.eTo, to)
+	rg.eQ = append(rg.eQ, q)
+	rg.out[from] = append(rg.out[from], id)
+	rg.in[to] = append(rg.in[to], id)
+	return id
+}
+
+func (rg *redGraph) killEdge(id int32) { rg.eAlive[id] = false }
+
+func (rg *redGraph) killNode(n int32) {
+	rg.alive[n] = false
+	for _, e := range rg.out[n] {
+		rg.eAlive[e] = false
+	}
+	for _, e := range rg.in[n] {
+		rg.eAlive[e] = false
+	}
+	rg.out[n] = rg.out[n][:0]
+	rg.in[n] = rg.in[n][:0]
+}
+
+// compact removes dead edge IDs from an adjacency list in place and
+// returns the live entries.
+func (rg *redGraph) compact(list []int32) []int32 {
+	w := 0
+	for _, e := range list {
+		if rg.eAlive[e] {
+			list[w] = e
+			w++
+		}
+	}
+	return list[:w]
+}
+
+func (rg *redGraph) liveOut(n int32) []int32 {
+	rg.out[n] = rg.compact(rg.out[n])
+	return rg.out[n]
+}
+
+func (rg *redGraph) liveIn(n int32) []int32 {
+	rg.in[n] = rg.compact(rg.in[n])
+	return rg.in[n]
+}
+
+// dropZeroAndLoops removes q=0 edges and self-loops. Returns true if
+// anything changed.
+func (rg *redGraph) dropZeroAndLoops() bool {
+	changed := false
+	for id := range rg.eAlive {
+		if !rg.eAlive[id] {
+			continue
+		}
+		if rg.eQ[id] == 0 || rg.eFrom[id] == rg.eTo[id] {
+			rg.eAlive[id] = false
+			changed = true
+		}
+	}
+	return changed
+}
+
+// pruneDisconnected removes nodes unreachable from the source or unable
+// to reach any target. This subsumes the paper's "delete inaccessible
+// [sink] nodes" rule. Returns true if anything changed.
+func (rg *redGraph) pruneDisconnected() bool {
+	n := len(rg.alive)
+	fwd := make([]bool, n)
+	stack := make([]int32, 0, n)
+	if rg.alive[rg.src] {
+		fwd[rg.src] = true
+		stack = append(stack, rg.src)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range rg.liveOut(v) {
+			to := rg.eTo[e]
+			if rg.alive[to] && !fwd[to] {
+				fwd[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	back := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rg.alive[i] && rg.isTarget[i] {
+			back[i] = true
+			stack = append(stack, int32(i))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range rg.liveIn(v) {
+			from := rg.eFrom[e]
+			if rg.alive[from] && !back[from] {
+				back[from] = true
+				stack = append(stack, from)
+			}
+		}
+	}
+	changed := false
+	for i := int32(0); int(i) < n; i++ {
+		if !rg.alive[i] || i == rg.src {
+			continue
+		}
+		if !fwd[i] || !back[i] {
+			rg.killNode(i)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// collapseSerial applies the serial-path rule everywhere it fits.
+func (rg *redGraph) collapseSerial() bool {
+	changed := false
+	for x := int32(0); int(x) < len(rg.alive); x++ {
+		if !rg.alive[x] || x == rg.src || rg.isTarget[x] {
+			continue
+		}
+		in := rg.liveIn(x)
+		out := rg.liveOut(x)
+		if len(in) != 1 || len(out) != 1 {
+			continue
+		}
+		e1, e2 := in[0], out[0]
+		y, z := rg.eFrom[e1], rg.eTo[e2]
+		if y == x || z == x {
+			continue // self-loop; handled by dropZeroAndLoops
+		}
+		q := rg.eQ[e1] * rg.p[x] * rg.eQ[e2]
+		rg.killNode(x)
+		if y != z && q > 0 {
+			rg.addEdge(y, z, q)
+		}
+		changed = true
+	}
+	return changed
+}
+
+// collapseParallel merges parallel edges node by node.
+func (rg *redGraph) collapseParallel() bool {
+	changed := false
+	first := make(map[int32]int32) // to-node -> representative edge
+	for x := int32(0); int(x) < len(rg.alive); x++ {
+		if !rg.alive[x] {
+			continue
+		}
+		out := rg.liveOut(x)
+		if len(out) < 2 {
+			continue
+		}
+		clear(first)
+		for _, e := range out {
+			to := rg.eTo[e]
+			if rep, ok := first[to]; ok {
+				// merge e into rep: q = 1-(1-q1)(1-q2)
+				rg.eQ[rep] = 1 - (1-rg.eQ[rep])*(1-rg.eQ[e])
+				rg.killEdge(e)
+				changed = true
+			} else {
+				first[to] = e
+			}
+		}
+	}
+	return changed
+}
+
+// run applies all rules to fixpoint.
+func (rg *redGraph) run() {
+	for {
+		changed := rg.dropZeroAndLoops()
+		if rg.pruneDisconnected() {
+			changed = true
+		}
+		if rg.collapseSerial() {
+			changed = true
+		}
+		if rg.collapseParallel() {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// export rebuilds a QueryGraph from the reduced structure.
+func (rg *redGraph) export() *graph.QueryGraph {
+	g := graph.New(len(rg.alive), len(rg.eAlive))
+	remap := make([]graph.NodeID, len(rg.alive))
+	for i := range rg.alive {
+		if rg.alive[i] {
+			remap[i] = g.AddNode(rg.kind[i], rg.label[i], rg.p[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	for id := range rg.eAlive {
+		if rg.eAlive[id] {
+			g.AddEdge(remap[rg.eFrom[id]], remap[rg.eTo[id]], "", rg.eQ[id])
+		}
+	}
+	var answers []graph.NodeID
+	for i := range rg.alive {
+		if rg.alive[i] && rg.isTarget[i] {
+			answers = append(answers, remap[i])
+		}
+	}
+	src := remap[rg.src]
+	if src < 0 {
+		// The source itself was killed (no answers reachable); rebuild a
+		// one-node graph so downstream code has a valid query graph.
+		g = graph.New(1, 0)
+		src = g.AddNode(rg.kind[rg.src], rg.label[rg.src], rg.p[rg.src])
+		answers = nil
+	}
+	qg, err := graph.NewQueryGraph(g, src, answers)
+	if err != nil {
+		panic(err) // structurally impossible
+	}
+	return qg
+}
+
+// Reduce applies the reduction rules of Section 3.1.2 to the query graph
+// and returns an equivalent, usually much smaller, query graph together
+// with size statistics. Reliability of every answer node is preserved
+// exactly. Answer nodes that become disconnected from the source have
+// reliability zero and are dropped from the returned answer set; callers
+// that need scores for all original answers should use ReduceAll.
+func Reduce(qg *graph.QueryGraph) (*graph.QueryGraph, ReduceStats) {
+	stats := ReduceStats{NodesBefore: qg.NumNodes(), EdgesBefore: qg.NumEdges()}
+	rg := newRedGraph(qg)
+	rg.run()
+	out := rg.export()
+	stats.NodesAfter = out.NumNodes()
+	stats.EdgesAfter = out.NumEdges()
+	return out, stats
+}
+
+// ReduceAll reduces the query graph while remembering the original answer
+// order: it returns the reduced graph, stats, and for each original
+// answer index the index of the corresponding answer in the reduced graph
+// (or -1 if the answer became disconnected and therefore has score 0).
+func ReduceAll(qg *graph.QueryGraph) (*graph.QueryGraph, ReduceStats, []int) {
+	red, stats := Reduce(qg)
+	// Match answers by (kind,label), which reductions preserve for
+	// surviving target nodes.
+	pos := make(map[string]int, len(red.Answers))
+	for i, a := range red.Answers {
+		n := red.Node(a)
+		pos[n.Kind+"/"+n.Label] = i
+	}
+	mapping := make([]int, len(qg.Answers))
+	for i, a := range qg.Answers {
+		n := qg.Node(a)
+		if j, ok := pos[n.Kind+"/"+n.Label]; ok {
+			mapping[i] = j
+		} else {
+			mapping[i] = -1
+		}
+	}
+	return red, stats, mapping
+}

@@ -1,0 +1,180 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+func TestReduceChainToSingleEdge(t *testing.T) {
+	// s -0.8-> x(0.5) -0.5-> t must collapse to a single edge with
+	// q = 0.8·0.5·0.5 = 0.2.
+	g := graph.New(3, 2)
+	s := g.AddNode("Q", "s", 1)
+	x := g.AddNode("X", "x", 0.5)
+	tt := g.AddNode("A", "t", 1)
+	g.AddEdge(s, x, "r", 0.8)
+	g.AddEdge(x, tt, "r", 0.5)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{tt})
+	red, stats := Reduce(qg)
+	if red.NumNodes() != 2 || red.NumEdges() != 1 {
+		t.Fatalf("chain not fully reduced: %d nodes %d edges", red.NumNodes(), red.NumEdges())
+	}
+	if q := red.Edge(0).Q; math.Abs(q-0.2) > 1e-12 {
+		t.Fatalf("collapsed edge q = %v, want 0.2", q)
+	}
+	if stats.NodesBefore != 3 || stats.NodesAfter != 2 {
+		t.Fatalf("stats wrong: %+v", stats)
+	}
+}
+
+func TestReduceParallelEdges(t *testing.T) {
+	g := graph.New(2, 2)
+	s := g.AddNode("Q", "s", 1)
+	tt := g.AddNode("A", "t", 1)
+	g.AddEdge(s, tt, "r", 0.5)
+	g.AddEdge(s, tt, "r", 0.5)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{tt})
+	red, _ := Reduce(qg)
+	if red.NumEdges() != 1 {
+		t.Fatalf("parallel edges not merged: %d", red.NumEdges())
+	}
+	if q := red.Edge(0).Q; math.Abs(q-0.75) > 1e-12 {
+		t.Fatalf("merged q = %v, want 1-(0.5)^2 = 0.75", q)
+	}
+}
+
+func TestReduceDropsDeadBranches(t *testing.T) {
+	// A dangling sink and an unreachable island must be removed.
+	g := graph.New(5, 3)
+	s := g.AddNode("Q", "s", 1)
+	tt := g.AddNode("A", "t", 1)
+	sink := g.AddNode("X", "sink", 1)
+	island := g.AddNode("X", "island", 1)
+	g.AddEdge(s, tt, "r", 0.5)
+	g.AddEdge(s, sink, "r", 0.5)
+	g.AddEdge(island, tt, "r", 0.5)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{tt})
+	red, _ := Reduce(qg)
+	if red.NumNodes() != 2 {
+		t.Fatalf("dead branches survived: %d nodes", red.NumNodes())
+	}
+}
+
+func TestReduceZeroEdgesRemoved(t *testing.T) {
+	g := graph.New(3, 2)
+	s := g.AddNode("Q", "s", 1)
+	x := g.AddNode("X", "x", 1)
+	tt := g.AddNode("A", "t", 1)
+	g.AddEdge(s, x, "r", 0)
+	g.AddEdge(s, tt, "r", 0.5)
+	_ = x
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{tt})
+	red, _ := Reduce(qg)
+	if red.NumNodes() != 2 || red.NumEdges() != 1 {
+		t.Fatalf("zero-probability edge not cleaned: %d nodes %d edges", red.NumNodes(), red.NumEdges())
+	}
+}
+
+func TestReduceWheatstoneGetsStuck(t *testing.T) {
+	// Section 3.1.2: the transformations "get stuck ... on the
+	// Wheatstone Bridge graph".
+	red, stats := Reduce(fig4b())
+	if red.NumNodes() != 4 || red.NumEdges() != 5 {
+		t.Fatalf("Wheatstone bridge should be irreducible, got %d nodes %d edges",
+			red.NumNodes(), red.NumEdges())
+	}
+	if stats.ElemReduction() != 0 {
+		t.Fatalf("ElemReduction = %v, want 0", stats.ElemReduction())
+	}
+}
+
+func TestReducePreservesReliability(t *testing.T) {
+	rng := prob.NewRNG(77)
+	for trial := 0; trial < 60; trial++ {
+		qg := randomDAG(rng)
+		before := bruteReliability(qg)
+		red, _, mapping := ReduceAll(qg)
+		after := bruteReliability(red)
+		for i := range before {
+			var got float64
+			if mapping[i] >= 0 {
+				got = after[mapping[i]]
+			}
+			if math.Abs(got-before[i]) > 1e-9 {
+				t.Fatalf("trial %d answer %d: reliability changed %v -> %v",
+					trial, i, before[i], got)
+			}
+		}
+	}
+}
+
+func TestReduceAllMapsDisconnectedAnswers(t *testing.T) {
+	g := graph.New(3, 1)
+	s := g.AddNode("Q", "s", 1)
+	a := g.AddNode("A", "a", 1)
+	b := g.AddNode("A", "b", 1) // unreachable
+	g.AddEdge(s, a, "r", 0.5)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{a, b})
+	_, _, mapping := ReduceAll(qg)
+	if mapping[0] < 0 {
+		t.Error("reachable answer lost")
+	}
+	if mapping[1] != -1 {
+		t.Error("unreachable answer should map to -1")
+	}
+}
+
+func TestReduceSelfLoop(t *testing.T) {
+	g := graph.New(3, 3)
+	s := g.AddNode("Q", "s", 1)
+	x := g.AddNode("X", "x", 1)
+	tt := g.AddNode("A", "t", 1)
+	g.AddEdge(s, x, "r", 0.5)
+	g.AddEdge(x, x, "r", 0.9) // self-loop: irrelevant for connectivity
+	g.AddEdge(x, tt, "r", 0.5)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{tt})
+	red, _ := Reduce(qg)
+	if red.NumEdges() != 1 {
+		t.Fatalf("self-loop not eliminated: %d edges", red.NumEdges())
+	}
+	if q := red.Edge(0).Q; math.Abs(q-0.25) > 1e-12 {
+		t.Fatalf("q = %v, want 0.25", q)
+	}
+}
+
+func TestReduceMultiTargetKeepsTargets(t *testing.T) {
+	// Serial collapse must never remove a target, even with in/out
+	// degree 1.
+	g := graph.New(4, 3)
+	s := g.AddNode("Q", "s", 1)
+	a := g.AddNode("A", "a", 0.9)
+	b := g.AddNode("A", "b", 1)
+	g.AddEdge(s, a, "r", 0.5)
+	g.AddEdge(a, b, "r", 0.5)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{a, b})
+	red, _, mapping := ReduceAll(qg)
+	if len(red.Answers) != 2 || mapping[0] < 0 || mapping[1] < 0 {
+		t.Fatalf("targets lost in reduction: answers=%v mapping=%v", red.Answers, mapping)
+	}
+	// And reliability still correct.
+	want := bruteReliability(qg)
+	got, _, err := ExactReliability(red, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[mapping[i]]-want[i]) > 1e-9 {
+			t.Fatalf("answer %d: %v vs %v", i, got[mapping[i]], want[i])
+		}
+	}
+}
+
+func TestElemReductionEmptyGraph(t *testing.T) {
+	var s ReduceStats
+	if s.ElemReduction() != 0 {
+		t.Fatal("empty stats should report 0 reduction")
+	}
+}

@@ -1,0 +1,246 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+// This file implements the reliability semantics of Section 3.1: the
+// relevance r(t) of an answer node t is the probability, over random
+// subgraphs in which each node i is present with probability p(i) and
+// each edge e with probability q(e), that t is present and connected to
+// the query node s. This coincides with the possible-worlds semantics of
+// probabilistic databases. Exact evaluation is #P-hard (Valiant 1979);
+// the paper proposes Monte Carlo simulation (Algorithm 3.1), graph
+// reductions, and a closed solution for reducible graphs.
+
+// MonteCarlo estimates reliability scores by simulation.
+//
+// With Naive unset it implements the improved "traversal" simulation of
+// Algorithm 3.1: a depth-first search from the source that only flips
+// presence coins for nodes and edges that are actually reached, skipping
+// entire subgraphs cut off by earlier failures. With Naive set it flips
+// every coin up front and then tests connectivity — the baseline the
+// paper reports a 3.4x speedup against.
+//
+// Note on Algorithm 3.1 as printed: the pseudocode's indentation suggests
+// out-edges are explored even when the node's own presence coin fails,
+// which would contradict the generalized source-target reliability
+// semantics with node failures that Section 3.1 defines. We implement the
+// semantically correct version (a failed node cuts the paths through it)
+// and verify it against an exact solver; see DESIGN.md.
+type MonteCarlo struct {
+	Trials int    // number of simulation trials; 0 means DefaultTrials
+	Seed   uint64 // RNG seed; runs are deterministic given the seed
+	Naive  bool   // use the naive all-coins estimator instead of Alg 3.1
+	Reduce bool   // apply Section 3.1.2 reductions before simulating
+	// Workers splits the trials over that many goroutines, each with an
+	// independent RNG stream derived from Seed. Results are
+	// deterministic for a fixed (Seed, Workers) pair; 0 or 1 runs
+	// serially. Only the traversal estimator parallelizes.
+	Workers int
+}
+
+// DefaultTrials is the trial count the paper derives from Theorem 3.1 for
+// ε=0.02 and 95% confidence ("10,000 trials should be enough").
+const DefaultTrials = 10000
+
+// Name implements Ranker.
+func (m *MonteCarlo) Name() string { return "reliability" }
+
+// Rank implements Ranker.
+func (m *MonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
+	if err := validate(qg); err != nil {
+		return Result{}, err
+	}
+	trials := m.Trials
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	res := Result{Method: m.Name()}
+	if m.Reduce {
+		red, _, mapping := ReduceAll(qg)
+		inner, err := m.simulate(red, trials)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Scores = make([]float64, len(qg.Answers))
+		for i, j := range mapping {
+			if j >= 0 {
+				res.Scores[i] = inner[j]
+			}
+		}
+		return res, nil
+	}
+	scores, err := m.simulate(qg, trials)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Scores = scores
+	return res, nil
+}
+
+func (m *MonteCarlo) simulate(qg *graph.QueryGraph, trials int) ([]float64, error) {
+	if m.Naive {
+		return naiveMC(qg, trials, m.Seed), nil
+	}
+	if m.Workers > 1 {
+		return parallelTraversalMC(qg, trials, m.Seed, m.Workers), nil
+	}
+	return traversalMC(qg, trials, m.Seed), nil
+}
+
+// traversalMC is Algorithm 3.1: per-trial lazy DFS from the source.
+func traversalMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
+	reach := traversalCounts(qg, trials, prob.NewRNG(seed))
+	scores := make([]float64, len(qg.Answers))
+	for i, a := range qg.Answers {
+		scores[i] = float64(reach[a]) / float64(trials)
+	}
+	return scores
+}
+
+// parallelTraversalMC fans the trials out over workers goroutines, each
+// with its own RNG stream, and merges the per-node reach counts.
+func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers int) []float64 {
+	if workers > trials {
+		workers = trials
+	}
+	counts := make([][]int64, workers)
+	var wg sync.WaitGroup
+	base := trials / workers
+	extra := trials % workers
+	for w := 0; w < workers; w++ {
+		share := base
+		if w < extra {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			// Distinct, deterministic stream per worker.
+			rng := prob.NewRNG(seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
+			counts[w] = traversalCounts(qg, share, rng)
+		}(w, share)
+	}
+	wg.Wait()
+	scores := make([]float64, len(qg.Answers))
+	for i, a := range qg.Answers {
+		var total int64
+		for w := range counts {
+			total += counts[w][a]
+		}
+		scores[i] = float64(total) / float64(trials)
+	}
+	return scores
+}
+
+// traversalCounts runs the lazy-DFS simulation and returns per-node
+// reach counts.
+func traversalCounts(qg *graph.QueryGraph, trials int, rng *prob.RNG) []int64 {
+	n := qg.NumNodes()
+	lastSim := make([]int32, n) // trial number of last visit; 0 = never
+	reach := make([]int64, n)
+	stack := make([]graph.NodeID, 0, 64)
+
+	for t := int32(1); t <= int32(trials); t++ {
+		stack = stack[:0]
+		// Visit the source.
+		lastSim[qg.Source] = t
+		if rng.Bernoulli(qg.Node(qg.Source).P) {
+			reach[qg.Source]++
+			stack = append(stack, qg.Source)
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, eid := range qg.Out(x) {
+				e := qg.Edge(eid)
+				if lastSim[e.To] == t {
+					continue // already decided this trial
+				}
+				if !rng.Bernoulli(e.Q) {
+					continue // edge failed
+				}
+				lastSim[e.To] = t
+				if rng.Bernoulli(qg.Node(e.To).P) {
+					reach[e.To]++
+					stack = append(stack, e.To)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// naiveMC flips every node and edge coin, then tests connectivity.
+func naiveMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
+	rng := prob.NewRNG(seed)
+	n := qg.NumNodes()
+	mEdges := qg.NumEdges()
+	nodeUp := make([]bool, n)
+	edgeUp := make([]bool, mEdges)
+	seen := make([]bool, n)
+	reach := make([]int64, n)
+	stack := make([]graph.NodeID, 0, 64)
+
+	for t := 0; t < trials; t++ {
+		for i := 0; i < n; i++ {
+			nodeUp[i] = rng.Bernoulli(qg.Node(graph.NodeID(i)).P)
+			seen[i] = false
+		}
+		for i := 0; i < mEdges; i++ {
+			edgeUp[i] = rng.Bernoulli(qg.Edge(graph.EdgeID(i)).Q)
+		}
+		if !nodeUp[qg.Source] {
+			continue
+		}
+		stack = append(stack[:0], qg.Source)
+		seen[qg.Source] = true
+		reach[qg.Source]++
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, eid := range qg.Out(x) {
+				if !edgeUp[eid] {
+					continue
+				}
+				to := qg.Edge(eid).To
+				if seen[to] || !nodeUp[to] {
+					continue
+				}
+				seen[to] = true
+				reach[to]++
+				stack = append(stack, to)
+			}
+		}
+	}
+	scores := make([]float64, len(qg.Answers))
+	for i, a := range qg.Answers {
+		scores[i] = float64(reach[a]) / float64(trials)
+	}
+	return scores
+}
+
+// TrialBound returns the number of independent Monte Carlo trials that
+// Theorem 3.1 proves sufficient to rank two nodes whose true reliability
+// scores differ by eps correctly with probability at least 1-delta:
+//
+//	n ≥ (1+ε)³ / (ε²(1+ε/3)) · ln(1/δ)
+//
+// For ε=0.02 and δ=0.05 this yields 7,895, which is why the paper uses
+// 10,000 trials.
+func TrialBound(eps, delta float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("rank: eps must be in (0,1), got %g", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("rank: delta must be in (0,1), got %g", delta)
+	}
+	n := math.Pow(1+eps, 3) / (eps * eps * (1 + eps/3)) * math.Log(1/delta)
+	return int(math.Ceil(n)), nil
+}

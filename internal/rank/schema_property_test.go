@@ -1,0 +1,192 @@
+package rank
+
+import (
+	"fmt"
+	"testing"
+
+	"biorank/internal/er"
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+// These tests pin the substance of Theorem 3.2: when an E/R schema is
+// reducible, EVERY data instance of it reduces to closed form (zero
+// factoring steps per target); irreducible schemas admit instances that
+// require conditioning.
+
+// oneToManyTreeInstance generates a random instance of a [1:n] tree
+// schema: each record (except the root) has exactly one parent.
+func oneToManyTreeInstance(rng *prob.RNG) *graph.QueryGraph {
+	g := graph.New(16, 16)
+	root := g.AddNode("P0", "s", 1)
+	nodes := []graph.NodeID{root}
+	for i := 0; i < 7; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		n := g.AddNode("P", fmt.Sprintf("n%d", i), 0.2+0.8*rng.Float64())
+		g.AddEdge(parent, n, "r", 0.2+0.8*rng.Float64())
+		nodes = append(nodes, n)
+	}
+	// Every leaf is a target.
+	var answers []graph.NodeID
+	for _, n := range nodes[1:] {
+		if g.OutDegree(n) == 0 {
+			answers = append(answers, n)
+		}
+	}
+	qg, err := graph.NewQueryGraph(g, root, answers)
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+// fanChainInstance generates a random instance of the reducible schema
+// P0 -[1:n]-> P1 -[n:1]-> P2: the source fans out to middle records,
+// each of which points at exactly one shared target.
+func fanChainInstance(rng *prob.RNG) *graph.QueryGraph {
+	g := graph.New(24, 24)
+	s := g.AddNode("P0", "s", 1)
+	nTargets := 1 + rng.Intn(3)
+	var targets []graph.NodeID
+	for i := 0; i < nTargets; i++ {
+		targets = append(targets, g.AddNode("P2", fmt.Sprintf("t%d", i), 0.3+0.7*rng.Float64()))
+	}
+	nMiddle := 2 + rng.Intn(3)
+	for i := 0; i < nMiddle; i++ {
+		m := g.AddNode("P1", fmt.Sprintf("m%d", i), 0.3+0.7*rng.Float64())
+		g.AddEdge(s, m, "q", 0.2+0.8*rng.Float64())
+		// [n:1]: exactly one outgoing edge per middle record.
+		g.AddEdge(m, targets[rng.Intn(nTargets)], "q2", 0.2+0.8*rng.Float64())
+	}
+	qg, err := graph.NewQueryGraph(g, s, targets)
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+// manyToManyInstance generates an instance of the irreducible schema
+// P0 -[1:n]-> P1 -[m:n]-> P2 -[n:1]-> P3 (Fig 2a), dense enough to
+// contain bridge structures.
+func manyToManyInstance(rng *prob.RNG) *graph.QueryGraph {
+	g := graph.New(24, 48)
+	s := g.AddNode("P0", "s", 1)
+	var mids, outs []graph.NodeID
+	for i := 0; i < 3; i++ {
+		m := g.AddNode("P1", fmt.Sprintf("m%d", i), 1)
+		g.AddEdge(s, m, "q", 0.5)
+		mids = append(mids, m)
+	}
+	for i := 0; i < 3; i++ {
+		outs = append(outs, g.AddNode("P2", fmt.Sprintf("o%d", i), 1))
+	}
+	t := g.AddNode("P3", "t", 1)
+	// Dense m:n layer.
+	for _, m := range mids {
+		for _, o := range outs {
+			if rng.Bernoulli(0.7) {
+				g.AddEdge(m, o, "mn", 0.5)
+			}
+		}
+	}
+	for _, o := range outs {
+		g.AddEdge(o, t, "n1", 0.5)
+	}
+	qg, err := graph.NewQueryGraph(g, s, []graph.NodeID{t})
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+func TestTheorem32TreeInstancesFullyReduce(t *testing.T) {
+	// Part A: the schema is a [1:n] tree, declared reducible.
+	schema := er.NewSchema()
+	if err := schema.AddEntity(er.EntitySet{Name: "P0", PS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.AddEntity(er.EntitySet{Name: "P", PS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.AddRelationship(er.Relationship{Name: "r", From: "P0", To: "P", Card: er.OneToMany, QS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := schema.Reducible(nil); !ok {
+		t.Fatal("tree schema should be reducible")
+	}
+	// Consequence at the data level: every instance solves in closed
+	// form (no factoring).
+	rng := prob.NewRNG(71)
+	for trial := 0; trial < 25; trial++ {
+		qg := oneToManyTreeInstance(rng)
+		scores, cond, err := ExactReliability(qg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range cond {
+			if c != 0 {
+				t.Fatalf("trial %d: tree instance needed %d conditionings\n%s",
+					trial, c, qg.DOT("g"))
+			}
+			if scores[i] < 0 || scores[i] > 1 {
+				t.Fatalf("score out of range: %v", scores[i])
+			}
+		}
+		// Cross-check against brute force.
+		brute := bruteReliability(qg)
+		for i := range brute {
+			if d := scores[i] - brute[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("trial %d: closed form %v vs brute %v", trial, scores[i], brute[i])
+			}
+		}
+	}
+}
+
+func TestTheorem32FanChainInstancesFullyReduce(t *testing.T) {
+	// Part B: P0 -[1:n]-> P1 -[n:1]-> P2 composes to a reducible schema
+	// (each P1 record has exactly one incoming and one outgoing edge).
+	rng := prob.NewRNG(73)
+	for trial := 0; trial < 25; trial++ {
+		qg := fanChainInstance(rng)
+		scores, cond, err := ExactReliability(qg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cond {
+			if c != 0 {
+				t.Fatalf("trial %d: fan-chain instance needed %d conditionings", trial, c)
+			}
+		}
+		brute := bruteReliability(qg)
+		for i := range brute {
+			if d := scores[i] - brute[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("trial %d: closed form %v vs brute %v", trial, scores[i], brute[i])
+			}
+		}
+	}
+}
+
+func TestManyToManyInstancesNeedConditioning(t *testing.T) {
+	// Irreducible schemas (Fig 2a) admit instances that the reduction
+	// rules cannot finish; the factoring fallback must still produce the
+	// exact value.
+	rng := prob.NewRNG(79)
+	conditioned := 0
+	for trial := 0; trial < 20; trial++ {
+		qg := manyToManyInstance(rng)
+		scores, cond, err := ExactReliability(qg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cond[0] > 0 {
+			conditioned++
+		}
+		brute := bruteReliability(qg)
+		if d := scores[0] - brute[0]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("trial %d: factoring %v vs brute %v", trial, scores[0], brute[0])
+		}
+	}
+	if conditioned == 0 {
+		t.Fatal("no m:n instance required conditioning; generator too tame")
+	}
+}

@@ -1,0 +1,118 @@
+package sources
+
+import (
+	"fmt"
+	"sort"
+
+	"biorank/internal/bio"
+)
+
+// Annotation is one AmiGO record: a GO term with the evidence code that
+// backs it. The evidence code drives the pr transformation of Section 2
+// (IDA "inferred from direct assay" = 1.0 down to ND/NR = 0.2).
+type Annotation struct {
+	Term     bio.TermID
+	Evidence string
+}
+
+// AmiGO is the GO annotation database: the output entity set of the
+// paper's exploratory queries. Every candidate protein function
+// ultimately resolves to one AmiGO record per GO term.
+type AmiGO struct {
+	byTerm map[bio.TermID]Annotation
+	order  []bio.TermID
+}
+
+// NewAmiGO returns an empty database.
+func NewAmiGO() *AmiGO {
+	return &AmiGO{byTerm: make(map[bio.TermID]Annotation)}
+}
+
+// Add stores a term annotation. Re-adding a term keeps the strongest
+// evidence code seen (curation only improves).
+func (db *AmiGO) Add(a Annotation, strongerThan func(a, b string) bool) {
+	if existing, ok := db.byTerm[a.Term]; ok {
+		if strongerThan != nil && !strongerThan(a.Evidence, existing.Evidence) {
+			return
+		}
+		db.byTerm[a.Term] = a
+		return
+	}
+	db.byTerm[a.Term] = a
+	db.order = append(db.order, a.Term)
+}
+
+// ByTerm returns the annotation for a GO term.
+func (db *AmiGO) ByTerm(t bio.TermID) (Annotation, bool) {
+	a, ok := db.byTerm[t]
+	return a, ok
+}
+
+// Len returns the number of annotated terms.
+func (db *AmiGO) Len() int { return len(db.byTerm) }
+
+// Terms returns annotated terms in insertion order.
+func (db *AmiGO) Terms() []bio.TermID { return db.order }
+
+// IProClass is the curated reference database the paper uses as the
+// golden standard for scenario 1 ("highly reliable experimental evidence
+// for their functions"). It is intentionally NOT integrated as a source —
+// the paper excludes it "because it was the source of the test set" — and
+// is consulted only by the evaluation harness.
+type IProClass struct {
+	functions map[string]map[bio.TermID]bool // protein -> function set
+}
+
+// NewIProClass returns an empty golden standard.
+func NewIProClass() *IProClass {
+	return &IProClass{functions: make(map[string]map[bio.TermID]bool)}
+}
+
+// Annotate records that protein has the given reference function.
+func (db *IProClass) Annotate(protein string, term bio.TermID) {
+	set, ok := db.functions[protein]
+	if !ok {
+		set = make(map[bio.TermID]bool)
+		db.functions[protein] = set
+	}
+	set[term] = true
+}
+
+// Functions returns the reference function set of a protein, sorted.
+func (db *IProClass) Functions(protein string) []bio.TermID {
+	set := db.functions[protein]
+	out := make([]bio.TermID, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Has reports whether the golden standard lists term for protein.
+func (db *IProClass) Has(protein string, term bio.TermID) bool {
+	return db.functions[protein][term]
+}
+
+// Proteins returns the curated proteins in sorted order.
+func (db *IProClass) Proteins() []string {
+	out := make([]string, 0, len(db.functions))
+	for p := range db.functions {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of functions curated for protein.
+func (db *IProClass) Count(protein string) int { return len(db.functions[protein]) }
+
+// Validate checks invariants used by the experiment harness.
+func (db *IProClass) Validate() error {
+	for p, set := range db.functions {
+		if len(set) == 0 {
+			return fmt.Errorf("sources: iProClass protein %s has no functions", p)
+		}
+	}
+	return nil
+}

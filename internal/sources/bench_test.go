@@ -1,0 +1,86 @@
+package sources
+
+import (
+	"fmt"
+	"testing"
+
+	"biorank/internal/bio"
+	"biorank/internal/prob"
+)
+
+// benchCorpus builds a 1000-protein corpus (10 families of 20 members
+// plus 800 background sequences), comparable to a scenario world.
+func benchCorpus() ([]bio.Protein, []*bio.Family) {
+	rng := prob.NewRNG(7)
+	var fams []*bio.Family
+	var corpus []bio.Protein
+	for f := 0; f < 10; f++ {
+		fam := bio.NewFamily(rng, fmt.Sprintf("F%d", f), 300)
+		fams = append(fams, fam)
+		for m := 0; m < 20; m++ {
+			corpus = append(corpus, bio.Protein{
+				Accession: fmt.Sprintf("f%dm%d", f, m),
+				Gene:      fmt.Sprintf("G%d%d", f, m),
+				Seq:       fam.Member(rng, 0.1),
+			})
+		}
+	}
+	for i := 0; i < 800; i++ {
+		corpus = append(corpus, bio.Protein{
+			Accession: fmt.Sprintf("bg%d", i),
+			Gene:      fmt.Sprintf("BG%d", i),
+			Seq:       bio.RandomSequence(rng, 300),
+		})
+	}
+	return corpus, fams
+}
+
+func BenchmarkAlignerIndex(b *testing.B) {
+	corpus, _ := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al := NewAligner(corpus)
+		if al.CorpusSize() != len(corpus) {
+			b.Fatal("bad index")
+		}
+	}
+}
+
+func BenchmarkAlignerSearch(b *testing.B) {
+	corpus, fams := benchCorpus()
+	al := NewAligner(corpus)
+	rng := prob.NewRNG(11)
+	queries := make([]bio.Sequence, 16)
+	for i := range queries {
+		queries[i] = fams[i%len(fams)].Member(rng, 0.08)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := al.Search(queries[i%len(queries)], 100)
+		if len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkProfileMatch(b *testing.B) {
+	rng := prob.NewRNG(13)
+	db := NewProfileDB("bench", 0.35, 0)
+	var fams []*bio.Family
+	for f := 0; f < 50; f++ {
+		fam := bio.NewFamily(rng, fmt.Sprintf("PF%d", f), 300)
+		fams = append(fams, fam)
+		members := make([]bio.Sequence, 8)
+		for i := range members {
+			members[i] = fam.Member(rng, 0.1)
+		}
+		db.Add(BuildProfile(fam.Name, members, nil))
+	}
+	q := fams[0].Member(rng, 0.08)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := db.Match(q, 10); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}

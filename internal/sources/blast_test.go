@@ -1,0 +1,153 @@
+package sources
+
+import (
+	"fmt"
+	"testing"
+
+	"biorank/internal/bio"
+	"biorank/internal/prob"
+)
+
+// testCorpus builds a corpus with two families plus random background
+// proteins. Family members are named fam<i>-m<j>.
+func testCorpus(rng *prob.RNG) ([]bio.Protein, []*bio.Family) {
+	fams := []*bio.Family{
+		bio.NewFamily(rng, "famA", 200, "GO:0000001"),
+		bio.NewFamily(rng, "famB", 200, "GO:0000002"),
+	}
+	var corpus []bio.Protein
+	for fi, f := range fams {
+		for j := 0; j < 5; j++ {
+			corpus = append(corpus, bio.Protein{
+				Accession: fmt.Sprintf("fam%d-m%d", fi, j),
+				Gene:      fmt.Sprintf("G%d%d", fi, j),
+				Seq:       f.Member(rng, 0.08),
+			})
+		}
+	}
+	for j := 0; j < 20; j++ {
+		corpus = append(corpus, bio.Protein{
+			Accession: fmt.Sprintf("bg-%d", j),
+			Gene:      fmt.Sprintf("BG%d", j),
+			Seq:       bio.RandomSequence(rng, 200),
+		})
+	}
+	return corpus, fams
+}
+
+func TestAlignerFindsFamilyMembers(t *testing.T) {
+	rng := prob.NewRNG(11)
+	corpus, fams := testCorpus(rng)
+	al := NewAligner(corpus)
+	query := fams[0].Member(rng, 0.08)
+	hits := al.Search(query, 0)
+	if len(hits) < 5 {
+		t.Fatalf("expected at least the 5 famA members, got %d hits", len(hits))
+	}
+	// The strongest hits must be famA members, not background or famB.
+	for i := 0; i < 5; i++ {
+		if hits[i].Subject.Accession[:4] != "fam0" {
+			t.Fatalf("hit %d = %s, want a famA member (hits: %v)", i, hits[i].Subject.Accession, hits)
+		}
+	}
+}
+
+func TestAlignerEValueMonotoneInDivergence(t *testing.T) {
+	rng := prob.NewRNG(13)
+	fam := bio.NewFamily(rng, "fam", 300, "GO:1")
+	corpus := []bio.Protein{{Accession: "target", Gene: "G", Seq: fam.Consensus}}
+	al := NewAligner(corpus)
+	prevE := 0.0
+	for i, div := range []float64{0.0, 0.1, 0.25, 0.4} {
+		q := fam.Member(rng, div)
+		hits := al.Search(q, 0)
+		if len(hits) == 0 {
+			if div < 0.3 {
+				t.Fatalf("no hit at divergence %v", div)
+			}
+			continue
+		}
+		if i > 0 && hits[0].EValue < prevE {
+			t.Fatalf("e-value not monotone: %v at div %v < %v", hits[0].EValue, div, prevE)
+		}
+		prevE = hits[0].EValue
+	}
+}
+
+func TestAlignerEValueToProbabilityRange(t *testing.T) {
+	// The pipeline contract: a near-identical match should transform to
+	// qr close to 1, a distant one to a small qr.
+	rng := prob.NewRNG(17)
+	fam := bio.NewFamily(rng, "fam", 300, "GO:1")
+	corpus := []bio.Protein{{Accession: "t", Gene: "G", Seq: fam.Consensus}}
+	al := NewAligner(corpus)
+
+	close := al.Search(fam.Member(rng, 0.02), 0)
+	if len(close) == 0 {
+		t.Fatal("no hit for near-identical query")
+	}
+	if qr := prob.EValueProb(close[0].EValue); qr < 0.7 {
+		t.Fatalf("near-identical match qr = %v, want > 0.7", qr)
+	}
+	far := al.Search(fam.Member(rng, 0.45), 0)
+	if len(far) > 0 {
+		if qr := prob.EValueProb(far[0].EValue); qr > 0.5 {
+			t.Fatalf("distant match qr = %v, want < 0.5", qr)
+		}
+	}
+}
+
+func TestAlignerRandomQueriesRejected(t *testing.T) {
+	rng := prob.NewRNG(19)
+	corpus, _ := testCorpus(rng)
+	al := NewAligner(corpus)
+	falsePositives := 0
+	for i := 0; i < 20; i++ {
+		q := bio.RandomSequence(rng, 200)
+		hits := al.Search(q, 0)
+		for _, h := range hits {
+			if h.EValue < 1e-5 {
+				falsePositives++
+			}
+		}
+	}
+	if falsePositives > 0 {
+		t.Fatalf("%d strong hits for random queries", falsePositives)
+	}
+}
+
+func TestAlignerMaxHitsCap(t *testing.T) {
+	rng := prob.NewRNG(23)
+	corpus, fams := testCorpus(rng)
+	al := NewAligner(corpus)
+	hits := al.Search(fams[0].Member(rng, 0.05), 3)
+	if len(hits) > 3 {
+		t.Fatalf("maxHits not enforced: %d", len(hits))
+	}
+}
+
+func TestAlignerShortQuery(t *testing.T) {
+	rng := prob.NewRNG(29)
+	corpus, _ := testCorpus(rng)
+	al := NewAligner(corpus)
+	if hits := al.Search("AC", 0); hits != nil {
+		t.Fatalf("short query should return nil, got %v", hits)
+	}
+}
+
+func TestAlignerDeterministic(t *testing.T) {
+	rng := prob.NewRNG(31)
+	corpus, fams := testCorpus(rng)
+	al := NewAligner(corpus)
+	q := fams[1].Member(rng, 0.1)
+	h1 := al.Search(q, 0)
+	h2 := al.Search(q, 0)
+	if len(h1) != len(h2) {
+		t.Fatal("nondeterministic hit count")
+	}
+	for i := range h1 {
+		if h1[i].Subject.Accession != h2[i].Subject.Accession || h1[i].EValue != h2[i].EValue {
+			t.Fatal("nondeterministic hit order")
+		}
+	}
+}

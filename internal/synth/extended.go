@@ -1,0 +1,97 @@
+package synth
+
+import (
+	"fmt"
+
+	"biorank/internal/bio"
+	"biorank/internal/sources"
+)
+
+// NewExtendedWorld builds a compact world in which all eleven sources of
+// the paper's table are populated — EntrezProtein, EntrezGene, AmiGO,
+// NCBIBlast, Pfam, TIGRFAM, UniProt, PIRSF, CDD, SuperFamily and PDB —
+// so the full mediator integration surface is exercised. It contains
+// a handful of proteins with evidence spread across every source kind;
+// the evaluation scenarios use the calibrated Scenario12/Scenario3
+// worlds instead.
+func NewExtendedWorld(seed uint64) *World {
+	p := DefaultParams()
+	b := newBuilder(seed, p)
+
+	pirsf := sources.NewDomainDB("PIRSF", "PIRSFFamily", 0.35)
+	cdd := sources.NewDomainDB("CDD", "CDDDomain", 0.35)
+	sf := sources.NewDomainDB("SuperFamily", "Superfamily", 0.35)
+	pdb := sources.NewPDB()
+	uni := sources.NewUniProt()
+
+	var cases []Case
+	for caseIdx, name := range []string{"KCNJ11", "HNF4A", "GCK"} {
+		consensus := bio.RandomSequence(b.rng, p.SeqLen)
+		query := bio.Protein{
+			Accession: "NP_" + name,
+			Gene:      name,
+			Seq:       bio.Mutate(b.rng, consensus, p.QueryDivergence),
+		}
+		mustAdd(b.ep.Add(query))
+
+		wellKnown := termIDs(8400000, caseIdx, 6)
+		spurious := termIDs(8500000, caseIdx, 10)
+		for _, t := range wellKnown {
+			b.golden.Annotate(name, t)
+			b.ag.Add(sources.Annotation{Term: t, Evidence: pickWeighted(b.rng, wellKnownEvidence)}, nil)
+		}
+		for _, t := range spurious {
+			b.ag.Add(sources.Annotation{Term: t, Evidence: pickWeighted(b.rng, spuriousEvidence)}, nil)
+		}
+
+		// Direct curated paths: EntrezGene and UniProt (reviewed).
+		mustAdd(b.eg.Add(bio.GeneRecord{
+			ID: "EG_" + name, Gene: name, Status: "Reviewed", Functions: wellKnown[:4],
+		}))
+		mustAdd(uni.Add(sources.UniProtEntry{
+			Accession: "UP_" + name, Gene: name, Reviewed: true,
+			Functions: append([]bio.TermID{}, wellKnown[2:]...),
+		}))
+
+		// Homologs for the BLAST path: one per spurious candidate so
+		// every planted function has at least one evidence path.
+		for i := 0; i < len(spurious); i++ {
+			h := b.newHomolog(name, i, consensus, b.uniform(p.StrongDiv), "Provisional")
+			h.annotate(wellKnown[i%len(wellKnown)])
+			h.annotate(spurious[i%len(spurious)])
+			b.registerPools([]*homolog{h})
+		}
+
+		// One family per profile-matched source, with function lists
+		// mixing golden and spurious candidates.
+		b.addProfile(b.pfam, "PF_"+name, consensus, 0.2, 0.1, 8,
+			[]bio.TermID{wellKnown[0], spurious[0]})
+		b.addProfile(b.tigr, "TIGR_"+name, consensus, 0.2, 0.1, 8,
+			[]bio.TermID{wellKnown[1], spurious[1]})
+		b.addProfile(pirsf.ProfileDB, "PIRSF_"+name, consensus, 0.15, 0.1, 8,
+			[]bio.TermID{wellKnown[2], spurious[2]})
+		b.addProfile(cdd.ProfileDB, "CDD_"+name, consensus, 0.25, 0.1, 8,
+			[]bio.TermID{wellKnown[3], spurious[3]})
+		b.addProfile(sf.ProfileDB, "SF_"+name, consensus, 0.25, 0.1, 8,
+			[]bio.TermID{wellKnown[4], spurious[4]})
+
+		// Resolved structures.
+		for s := 0; s < 2; s++ {
+			mustAdd(pdb.Add(sources.PDBEntry{
+				ID:        fmt.Sprintf("%d%s%d", caseIdx+1, "XYZ", s),
+				Accession: query.Accession,
+				Method:    "X-RAY",
+			}))
+		}
+
+		cases = append(cases, Case{Protein: name, WellKnown: wellKnown, Spurious: spurious})
+	}
+
+	w := b.finish(cases)
+	w.Registry.PIRSF = pirsf
+	w.Registry.CDD = cdd
+	w.Registry.SuperFamily = sf
+	w.Registry.PDB = pdb
+	w.Registry.UniProt = uni
+	return w
+}

@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"fmt"
+
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+// GraphSpec parameterizes RandomQueryGraph: a direct generator of
+// workflow-shaped probabilistic query graphs (query → protein → hits →
+// genes → functions) used by scaling studies and micro-benchmarks. It
+// bypasses the sources/mediator pipeline, which makes graph size a free
+// knob.
+type GraphSpec struct {
+	// Hits is the number of BLAST-hit/gene chains.
+	Hits int
+	// Answers is the number of candidate functions.
+	Answers int
+	// AnnotationsPerGene bounds how many functions one gene annotates
+	// (uniform in [1, AnnotationsPerGene]).
+	AnnotationsPerGene int
+	// ChainLen inserts extra serial hops between hit and gene, which the
+	// reduction rules collapse; real 2007-era query graphs had longer
+	// chains than our synthetic scenario worlds.
+	ChainLen int
+}
+
+// DefaultGraphSpec mirrors the shape of the scenario-1 query graphs.
+func DefaultGraphSpec() GraphSpec {
+	return GraphSpec{Hits: 120, Answers: 50, AnnotationsPerGene: 3, ChainLen: 1}
+}
+
+// RandomQueryGraph generates a random workflow-type query graph.
+func RandomQueryGraph(seed uint64, spec GraphSpec) *graph.QueryGraph {
+	if spec.Hits <= 0 || spec.Answers <= 0 {
+		panic("synth: GraphSpec needs positive Hits and Answers")
+	}
+	if spec.AnnotationsPerGene <= 0 {
+		spec.AnnotationsPerGene = 1
+	}
+	rng := prob.NewRNG(seed)
+	g := graph.New(2+spec.Hits*(2+spec.ChainLen)+spec.Answers, spec.Hits*(3+spec.ChainLen))
+	s := g.AddNode("Query", "q", 1)
+	p := g.AddNode("EntrezProtein", "prot", 1)
+	g.AddEdge(s, p, "match", 1)
+
+	funcs := make([]graph.NodeID, spec.Answers)
+	for i := range funcs {
+		funcs[i] = g.AddNode("AmiGO", fmt.Sprintf("GO:%07d", 9000000+i), 0.2+0.8*rng.Float64())
+	}
+	for h := 0; h < spec.Hits; h++ {
+		prev := g.AddNode("BlastHit", fmt.Sprintf("hit%d", h), 1)
+		g.AddEdge(p, prev, "blast1", 0.1+0.9*rng.Float64())
+		for c := 0; c < spec.ChainLen; c++ {
+			mid := g.AddNode("Chain", fmt.Sprintf("c%d-%d", h, c), 0.5+0.5*rng.Float64())
+			g.AddEdge(prev, mid, "link", 0.5+0.5*rng.Float64())
+			prev = mid
+		}
+		gene := g.AddNode("EntrezGene", fmt.Sprintf("gene%d", h), 0.2+0.8*rng.Float64())
+		g.AddEdge(prev, gene, "blast2", 1)
+		n := 1 + rng.Intn(spec.AnnotationsPerGene)
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			f := rng.Intn(len(funcs))
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			g.AddEdge(gene, funcs[f], "annotates", 1)
+		}
+	}
+	qg, err := graph.NewQueryGraph(g, s, funcs)
+	if err != nil {
+		panic(err)
+	}
+	return qg.Prune()
+}

@@ -1,0 +1,108 @@
+// Package synth builds the synthetic worlds behind the paper's three
+// evaluation scenarios. The paper's scenarios rest on two golden
+// standards we cannot access (the June-2007 iProClass snapshot and a
+// manual PubMed literature search); this package plants equivalent
+// structure instead: for every test protein it creates source records
+// whose *evidence topology* matches the paper's description —
+//
+//   - well-known functions: many redundant evidence paths of mixed
+//     strength (curated gene records, BLAST homologs, profile families),
+//   - less-known (emerging) functions: a single strong evidence path
+//     with a high confidence score and no redundancy,
+//   - spurious candidates: one or two weak paths, a few with a single
+//     medium path,
+//
+// while reproducing the exact per-protein answer-set sizes and golden
+// counts of Tables 1-3. See DESIGN.md ("Substitutions").
+package synth
+
+import "biorank/internal/bio"
+
+// Scenario1Case is one row of Table 1: a well-studied protein, the number
+// of golden (iProClass) functions, and the total number of candidate
+// functions BioRank returns.
+type Scenario1Case struct {
+	Protein    string
+	Golden     int // #iProClass functions (k)
+	Candidates int // #BioRank functions (n)
+}
+
+// Table1 is the paper's Table 1: the 20 golden-standard proteins.
+var Table1 = []Scenario1Case{
+	{"ABCC8", 13, 97},
+	{"ABCD1", 15, 79},
+	{"AGPAT2", 10, 16},
+	{"ATP1A2", 31, 108},
+	{"ATP7A", 35, 130},
+	{"CFTR", 19, 90},
+	{"CNTS", 8, 15},
+	{"DARE", 18, 39},
+	{"EIF2B1", 15, 35},
+	{"EYA1", 12, 38},
+	{"FGFR3", 16, 65},
+	{"GALT", 8, 15},
+	{"GCH1", 10, 21},
+	{"GLDC", 7, 17},
+	{"GNE", 13, 24},
+	{"LPL", 13, 36},
+	{"MLH1", 19, 52},
+	{"MUTL", 13, 28},
+	{"RYR2", 18, 66},
+	{"SLC17A5", 13, 66},
+}
+
+// EmergingFunction is one row of Table 2: a newly published function of a
+// well-studied protein that curated databases did not list yet.
+type EmergingFunction struct {
+	Protein  string
+	Function bio.TermID
+	PubMedID string
+	Year     int
+}
+
+// Table2 is the paper's Table 2: the 7 recently discovered functions for
+// 3 of the 20 proteins, with the publications that reported them.
+var Table2 = []EmergingFunction{
+	{"ABCC8", "GO:0006855", "18025464", 2007},
+	{"ABCC8", "GO:0015559", "18025464", 2007},
+	{"ABCC8", "GO:0042493", "18025464", 2007},
+	{"CFTR", "GO:0030321", "17869070", 2007},
+	{"CFTR", "GO:0042493", "18045536", 2007},
+	{"EYA1", "GO:0007501", "17637804", 2007},
+	{"EYA1", "GO:0042472", "17637804", 2007},
+}
+
+// Scenario3Case is one row of Table 3: a hypothetical (less-studied)
+// bacterial protein, its expert-assigned function, and the size of the
+// candidate answer set (the upper end of the table's "Random" interval).
+type Scenario3Case struct {
+	Protein    string
+	Function   bio.TermID
+	Candidates int
+}
+
+// Table3 is the paper's Table 3: the 11 hypothetical proteins.
+var Table3 = []Scenario3Case{
+	{"DP0843", "GO:0003973", 47},
+	{"DP1954", "GO:0019175", 18},
+	{"NMC0498", "GO:0016226", 5},
+	{"NMC1442", "GO:0050518", 17},
+	{"NMC1815", "GO:0019143", 14},
+	{"SO_0025", "GO:0004729", 5},
+	{"SO_0599", "GO:0005524", 19},
+	{"SO_0828", "GO:0008990", 4},
+	{"SO_0887", "GO:0047632", 6},
+	{"SO_1523", "GO:0003951", 24},
+	{"WGLp528", "GO:0004017", 9},
+}
+
+// EmergingFor returns the Table 2 functions for a protein.
+func EmergingFor(protein string) []bio.TermID {
+	var out []bio.TermID
+	for _, e := range Table2 {
+		if e.Protein == protein {
+			out = append(out, e.Function)
+		}
+	}
+	return out
+}

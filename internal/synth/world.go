@@ -1,0 +1,597 @@
+package synth
+
+import (
+	"fmt"
+
+	"biorank/internal/bio"
+	"biorank/internal/graph"
+	"biorank/internal/mediator"
+	"biorank/internal/prob"
+	"biorank/internal/sources"
+)
+
+// Case describes one test protein of a scenario world: its planted
+// candidate functions partitioned into the three evidence classes.
+type Case struct {
+	Protein   string
+	WellKnown []bio.TermID // golden standard for scenario 1 (iProClass)
+	Emerging  []bio.TermID // golden standard for scenario 2 (PubMed)
+	Spurious  []bio.TermID
+}
+
+// Candidates returns the full planted candidate set (the expected answer
+// set of the exploratory query), in deterministic order.
+func (c Case) Candidates() []bio.TermID {
+	out := make([]bio.TermID, 0, len(c.WellKnown)+len(c.Emerging)+len(c.Spurious))
+	out = append(out, c.WellKnown...)
+	out = append(out, c.Emerging...)
+	out = append(out, c.Spurious...)
+	return out
+}
+
+// World is a fully populated synthetic integration scenario.
+type World struct {
+	Registry *sources.Registry
+	Golden   *sources.IProClass // scenario-1 reference standard
+	Cases    []Case
+	Config   mediator.Config
+}
+
+// Mediator returns a mediator over the world's sources.
+func (w *World) Mediator() (*mediator.Mediator, error) {
+	return mediator.New(w.Registry, w.Config)
+}
+
+// Explore runs the exploratory query for one of the world's proteins.
+func (w *World) Explore(protein string) (*graph.QueryGraph, error) {
+	m, err := w.Mediator()
+	if err != nil {
+		return nil, err
+	}
+	return m.Explore(protein)
+}
+
+// Params are the evidence-topology knobs of the world builder. The
+// defaults are calibrated so the full pipeline reproduces the comparative
+// shape of Figure 5; see EXPERIMENTS.md for measured values.
+type Params struct {
+	SeqLen          int        // protein length
+	QueryDivergence float64    // query protein's distance from its family consensus
+	StrongDiv       [2]float64 // homologs supporting well-known functions
+	MediumDiv       [2]float64 // homologs behind "plausible but wrong" candidates
+	WeakDiv         [2]float64 // homologs behind weak spurious candidates
+	StragglerFrac   float64    // fraction of well-known functions with only weak support
+	DirectCoverage  float64    // fraction of well-known functions in the direct gene record
+	ExtraHomologs   int        // uninformative homologs beyond the supporters
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		SeqLen:          300,
+		QueryDivergence: 0.04,
+		StrongDiv:       [2]float64{0.03, 0.09},
+		MediumDiv:       [2]float64{0.16, 0.24},
+		WeakDiv:         [2]float64{0.40, 0.50},
+		StragglerFrac:   0.23,
+		DirectCoverage:  0.75,
+		ExtraHomologs:   30,
+	}
+}
+
+// evidence-code pools per function class; weights sum to 1.
+var (
+	wellKnownEvidence = []weighted{
+		{"IDA", 0.15}, {"TAS", 0.12}, {"IMP", 0.12}, {"IGI", 0.04}, {"IPI", 0.04},
+		{"ISS", 0.25}, {"IEP", 0.15}, {"IC", 0.08}, {"NAS", 0.05},
+	}
+	spuriousEvidence = []weighted{
+		{"IEA", 0.60}, {"ISS", 0.20}, {"NAS", 0.12}, {"ND", 0.08},
+	}
+	strongStatus = []weighted{{"Validated", 0.4}, {"Provisional", 0.6}}
+	weakStatus   = []weighted{{"Predicted", 0.5}, {"Model", 0.3}, {"Inferred", 0.2}}
+)
+
+type weighted struct {
+	value string
+	w     float64
+}
+
+func pickWeighted(rng *prob.RNG, pool []weighted) string {
+	u := rng.Float64()
+	acc := 0.0
+	for _, p := range pool {
+		acc += p.w
+		if u < acc {
+			return p.value
+		}
+	}
+	return pool[len(pool)-1].value
+}
+
+// builder accumulates the sources of a world.
+type builder struct {
+	rng    *prob.RNG
+	params Params
+	ep     *sources.EntrezProtein
+	eg     *sources.EntrezGene
+	ag     *sources.AmiGO
+	pfam   *sources.ProfileDB
+	tigr   *sources.ProfileDB
+	golden *sources.IProClass
+}
+
+func newBuilder(seed uint64, params Params) *builder {
+	return &builder{
+		rng:    prob.NewRNG(seed),
+		params: params,
+		ep:     sources.NewEntrezProtein(),
+		eg:     sources.NewEntrezGene(),
+		ag:     sources.NewAmiGO(),
+		// Profile-database calibration: lambda scales log-odds scores to
+		// e-values; TIGRFAM is calibrated slightly sharper, as in the
+		// real services.
+		pfam:   sources.NewProfileDB("Pfam", 0.35, 0),
+		tigr:   sources.NewProfileDB("TIGRFAM", 0.35, 0),
+		golden: sources.NewIProClass(),
+	}
+}
+
+func (b *builder) finish(cases []Case) *World {
+	cfg := mediator.DefaultConfig()
+	cfg.BlastMaxHits = 250
+	al := sources.NewAligner(b.ep.All())
+	// Hits weaker than this are pure noise under the e-value transform
+	// (qr would be ~0 anyway); the cutoff keeps chance cross-family hits
+	// out of the candidate sets.
+	al.MaxEValue = 1e-6
+	return &World{
+		Registry: &sources.Registry{
+			EntrezProtein: b.ep,
+			EntrezGene:    b.eg,
+			AmiGO:         b.ag,
+			Blast:         al,
+			Pfam:          b.pfam,
+			TIGRFAM:       b.tigr,
+		},
+		Golden: b.golden,
+		Cases:  cases,
+		Config: cfg,
+	}
+}
+
+// mustAdd panics on source insertion errors: the builder controls all
+// keys, so a failure is a bug.
+func mustAdd(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("synth: %v", err))
+	}
+}
+
+// homolog is one planted similar protein with its accumulated function
+// annotations.
+type homolog struct {
+	accession string
+	gene      string
+	seq       bio.Sequence
+	status    string
+	functions []bio.TermID
+	hasFn     map[bio.TermID]bool
+	// geneRecords is how many parallel EntrezGene records the gene has
+	// (curated databases often carry several entries per gene); parallel
+	// records create the diamond structures on which propagation
+	// overestimates reliability.
+	geneRecords int
+}
+
+func (h *homolog) annotate(t bio.TermID) {
+	if h.hasFn[t] {
+		return
+	}
+	h.hasFn[t] = true
+	h.functions = append(h.functions, t)
+}
+
+// newHomolog plants a family member at the given divergence.
+func (b *builder) newHomolog(caseName string, idx int, fam bio.Sequence, div float64, status string) *homolog {
+	return &homolog{
+		accession:   fmt.Sprintf("NP_%s_H%03d", caseName, idx),
+		gene:        fmt.Sprintf("HG_%s_%03d", caseName, idx),
+		seq:         bio.Mutate(b.rng, fam, div),
+		status:      status,
+		hasFn:       map[bio.TermID]bool{},
+		geneRecords: 1,
+	}
+}
+
+// registerPools stores homolog proteins and their gene records (one
+// record per geneRecords count, all listing the same functions).
+func (b *builder) registerPools(pools ...[]*homolog) {
+	for _, pool := range pools {
+		for _, h := range pool {
+			mustAdd(b.ep.Add(bio.Protein{Accession: h.accession, Gene: h.gene, Seq: h.seq}))
+			for r := 0; r < h.geneRecords; r++ {
+				id := fmt.Sprintf("EG_%s_%d", h.gene, r)
+				mustAdd(b.eg.Add(bio.GeneRecord{
+					ID: id, Gene: h.gene, Status: h.status, Functions: h.functions,
+				}))
+			}
+		}
+	}
+}
+
+func (b *builder) uniform(r [2]float64) float64 { return b.rng.Uniform(r[0], r[1]) }
+
+// addProfile builds a family profile around an offset copy of the case
+// consensus: offset controls the query's match strength, tightness the
+// information content of the PWM.
+func (b *builder) addProfile(db *sources.ProfileDB, name string, consensus bio.Sequence,
+	offset, tightness float64, members int, fns []bio.TermID) {
+	famCons := bio.Mutate(b.rng, consensus, offset)
+	seqs := make([]bio.Sequence, members)
+	for i := range seqs {
+		seqs[i] = bio.Mutate(b.rng, famCons, tightness)
+	}
+	db.Add(sources.BuildProfile(name, seqs, fns))
+}
+
+// termIDs mints count fresh synthetic GO identifiers in a per-case block.
+func termIDs(base, caseIdx, count int) []bio.TermID {
+	out := make([]bio.TermID, count)
+	for i := range out {
+		out[i] = bio.TermID(fmt.Sprintf("GO:%07d", base+caseIdx*1000+i))
+	}
+	return out
+}
+
+// sampleSupport returns n draws (with replacement, deduplicated) from a
+// homolog pool.
+func (b *builder) sampleSupport(pool []*homolog, n int) []*homolog {
+	picked := map[int]bool{}
+	var out []*homolog
+	for len(out) < n && len(picked) < len(pool) {
+		i := b.rng.Intn(len(pool))
+		if !picked[i] {
+			picked[i] = true
+			out = append(out, pool[i])
+		}
+	}
+	return out
+}
+
+// NewScenario12 builds the world behind scenarios 1 and 2: the 20
+// well-studied proteins of Table 1, with the 7 emerging functions of
+// Table 2 planted as single-strong-path candidates.
+func NewScenario12(seed uint64) *World {
+	p := DefaultParams()
+	b := newBuilder(seed, p)
+	var cases []Case
+	for caseIdx, row := range Table1 {
+		cases = append(cases, b.buildWellStudied(caseIdx, row))
+	}
+	return b.finish(cases)
+}
+
+// buildWellStudied plants one Table 1 protein.
+func (b *builder) buildWellStudied(caseIdx int, row Scenario1Case) Case {
+	p := b.params
+	name := row.Protein
+	consensus := bio.RandomSequence(b.rng, p.SeqLen)
+	query := bio.Protein{
+		Accession: "NP_" + name,
+		Gene:      name,
+		Seq:       bio.Mutate(b.rng, consensus, p.QueryDivergence),
+	}
+	mustAdd(b.ep.Add(query))
+
+	emerging := EmergingFor(name)
+	wellKnown := termIDs(8100000, caseIdx, row.Golden)
+	nSpurious := row.Candidates - row.Golden - len(emerging)
+	spurious := termIDs(8200000, caseIdx, nSpurious)
+
+	// Golden standard and evidence codes.
+	for _, t := range wellKnown {
+		b.golden.Annotate(name, t)
+		b.ag.Add(sources.Annotation{Term: t, Evidence: pickWeighted(b.rng, wellKnownEvidence)}, nil)
+	}
+	for _, t := range spurious {
+		b.ag.Add(sources.Annotation{Term: t, Evidence: pickWeighted(b.rng, spuriousEvidence)}, nil)
+	}
+	for _, t := range emerging {
+		// New knowledge rests on a direct assay in a fresh publication.
+		b.ag.Add(sources.Annotation{Term: t, Evidence: "IDA"}, nil)
+	}
+
+	// Stragglers: well-known functions whose evidence has not propagated
+	// into the integrated sources (iProClass knows them from experiments
+	// the other databases have not absorbed). They get weak support only.
+	stragglers := map[bio.TermID]bool{}
+	for _, t := range wellKnown {
+		if b.rng.Bernoulli(p.StragglerFrac) {
+			stragglers[t] = true
+		}
+	}
+
+	// "Plausible but wrong" candidates of two flavors, both invisible to
+	// the deterministic rankers (single paths tie with all weak singles)
+	// but confusing for the probabilistic ones:
+	//
+	//   - medium spurious: one medium-strength BLAST path with a
+	//     respectable evidence code;
+	//   - profile confusers: functions of closely related families that
+	//     do not actually transfer to this protein — a single, fairly
+	//     strong profile path to a well-annotated (high evidence) term.
+	mediumSpurious := map[bio.TermID]bool{}
+	confusers := map[bio.TermID]bool{}
+	nConfusers := max(2, nSpurious/12)
+	for _, t := range spurious {
+		if len(confusers) < nConfusers && b.rng.Bernoulli(0.15) {
+			confusers[t] = true
+			b.ag.Add(sources.Annotation{Term: t, Evidence: pickWeighted(b.rng, wellKnownEvidence)},
+				func(a, bb string) bool { return prob.AmiGOEvidence.Prob(a) > prob.AmiGOEvidence.Prob(bb) })
+			continue
+		}
+		if b.rng.Bernoulli(0.08) {
+			mediumSpurious[t] = true
+			b.ag.Add(sources.Annotation{Term: t, Evidence: "ISS"},
+				func(a, bb string) bool { return prob.AmiGOEvidence.Prob(a) > prob.AmiGOEvidence.Prob(bb) })
+		}
+	}
+	confIdx := 0
+	for _, t := range spurious {
+		if !confusers[t] {
+			continue
+		}
+		db := b.tigr
+		if confIdx%2 == 1 {
+			db = b.pfam
+		}
+		b.addProfile(db, fmt.Sprintf("CONF_%s_%d", name, confIdx),
+			consensus, b.rng.Uniform(0.08, 0.26), 0.05, 12, []bio.TermID{t})
+		confIdx++
+	}
+
+	// Direct curated gene record: covers most non-straggler well-knowns.
+	var directFns []bio.TermID
+	for _, t := range wellKnown {
+		if !stragglers[t] && b.rng.Bernoulli(p.DirectCoverage) {
+			directFns = append(directFns, t)
+		}
+	}
+	if len(directFns) == 0 && len(wellKnown) > 0 {
+		directFns = wellKnown[:1]
+	}
+	mustAdd(b.eg.Add(bio.GeneRecord{
+		ID: "EG_" + name, Gene: name, Status: "Reviewed", Functions: directFns,
+	}))
+
+	// Homolog pools.
+	nStrong := max(6, row.Golden*3/2)
+	nMedium := max(3, nSpurious/10)
+	nWeak := max(8, nSpurious) + p.ExtraHomologs
+	var strong, medium, weak []*homolog
+	idx := 0
+	for i := 0; i < nStrong; i++ {
+		strong = append(strong, b.newHomolog(name, idx, consensus, b.uniform(p.StrongDiv),
+			pickWeighted(b.rng, strongStatus)))
+		idx++
+	}
+	for i := 0; i < nMedium; i++ {
+		medium = append(medium, b.newHomolog(name, idx, consensus, b.uniform(p.MediumDiv), "Provisional"))
+		idx++
+	}
+	for i := 0; i < nWeak; i++ {
+		weak = append(weak, b.newHomolog(name, idx, consensus, b.uniform(p.WeakDiv),
+			pickWeighted(b.rng, weakStatus)))
+		idx++
+	}
+
+	// Supporters per function class. Medium homologs carry three
+	// parallel gene records: the resulting evidence diamonds are where
+	// propagation overestimates reliability (it treats the three paths
+	// through the shared BLAST hit as independent).
+	for _, h := range medium {
+		h.geneRecords = 3
+	}
+	for _, t := range wellKnown {
+		if stragglers[t] {
+			for _, h := range b.sampleSupport(weak, 2) {
+				h.annotate(t)
+			}
+			continue
+		}
+		for _, h := range b.sampleSupport(strong, 4+b.rng.Poisson(2)) {
+			h.annotate(t)
+		}
+	}
+	for _, t := range spurious {
+		switch {
+		case confusers[t]:
+			// Profile path only (added above).
+		case mediumSpurious[t]:
+			for _, h := range b.sampleSupport(medium, 1) {
+				h.annotate(t)
+			}
+		default:
+			n := 1
+			if b.rng.Bernoulli(0.2) {
+				n = 2
+			}
+			for _, h := range b.sampleSupport(weak, n) {
+				h.annotate(t)
+			}
+		}
+	}
+	b.registerPools(strong, medium, weak)
+
+	// Profile families: one medium Pfam and one medium TIGRFAM family
+	// listing a few non-straggler well-knowns and a sprinkling of
+	// spurious candidates.
+	famList := func(nWell int, spuriousFrac float64) []bio.TermID {
+		var fns []bio.TermID
+		count := 0
+		for _, t := range wellKnown {
+			if !stragglers[t] && count < nWell {
+				fns = append(fns, t)
+				count++
+			}
+		}
+		for _, t := range spurious {
+			if b.rng.Bernoulli(spuriousFrac) {
+				fns = append(fns, t)
+			}
+		}
+		return fns
+	}
+	b.addProfile(b.pfam, "PF_"+name, consensus, 0.28, 0.10, 8, famList(2, 0.25))
+	b.addProfile(b.tigr, "TIGR_"+name, consensus, 0.26, 0.10, 8, famList(2, 0.20))
+
+	// Emerging functions: each rests on a single dedicated TIGRFAM
+	// family and nothing else — one strong evidence path with no
+	// redundancy (Section 5: "a small number of supporting evidence with
+	// high confidence score"). The first is very strong, the others
+	// moderate, reflecting the rank spread visible in Table 2.
+	for i, t := range emerging {
+		offset := 0.22
+		if i == 0 {
+			offset = 0.05
+		}
+		b.addProfile(b.tigr, fmt.Sprintf("TIGR_%s_NOVEL%d", name, i),
+			consensus, offset, 0.04, 16, []bio.TermID{t})
+	}
+
+	return Case{Protein: name, WellKnown: wellKnown, Emerging: emerging, Spurious: spurious}
+}
+
+// NewScenario3 builds the world behind scenario 3: the 11 hypothetical
+// bacterial proteins of Table 3. Hypothetical proteins have no curated
+// gene record of their own; all evidence is computational.
+func NewScenario3(seed uint64) *World {
+	p := DefaultParams()
+	b := newBuilder(seed, p)
+	var cases []Case
+	for caseIdx, row := range Table3 {
+		cases = append(cases, b.buildHypothetical(caseIdx, row))
+	}
+	return b.finish(cases)
+}
+
+// buildHypothetical plants one Table 3 protein.
+func (b *builder) buildHypothetical(caseIdx int, row Scenario3Case) Case {
+	p := b.params
+	name := row.Protein
+	consensus := bio.RandomSequence(b.rng, p.SeqLen)
+	query := bio.Protein{
+		Accession: "NP_" + name,
+		Gene:      name,
+		Seq:       bio.Mutate(b.rng, consensus, p.QueryDivergence),
+	}
+	mustAdd(b.ep.Add(query))
+
+	relevant := []bio.TermID{row.Function}
+	nSpurious := row.Candidates - 1
+	spurious := termIDs(8300000, caseIdx, nSpurious)
+	b.golden.Annotate(name, row.Function)
+
+	// Bacterial annotation evidence is largely computational; the true
+	// function carries a somewhat stronger code.
+	b.ag.Add(sources.Annotation{Term: row.Function, Evidence: "ISS"}, nil)
+	for _, t := range spurious {
+		b.ag.Add(sources.Annotation{Term: t, Evidence: pickWeighted(b.rng, spuriousEvidence)}, nil)
+	}
+
+	// Homolog pools: hypothetical proteins have no strong curated
+	// backbone; even the best homologs are only moderately similar.
+	nStrong := 3
+	nMedium := max(2, nSpurious/8)
+	nWeak := max(6, nSpurious) + p.ExtraHomologs/3
+	var strong, medium, weak []*homolog
+	idx := 0
+	for i := 0; i < nStrong; i++ {
+		strong = append(strong, b.newHomolog(name, idx, consensus, b.rng.Uniform(0.18, 0.26), "Provisional"))
+		idx++
+	}
+	for i := 0; i < nMedium; i++ {
+		m := b.newHomolog(name, idx, consensus, b.uniform(p.MediumDiv), "Provisional")
+		m.geneRecords = 3
+		medium = append(medium, m)
+		idx++
+	}
+	for i := 0; i < nWeak; i++ {
+		weak = append(weak, b.newHomolog(name, idx, consensus, b.uniform(p.WeakDiv),
+			pickWeighted(b.rng, weakStatus)))
+		idx++
+	}
+
+	// The true function: one or two moderately strong homologs plus a
+	// moderate profile family (added below).
+	for _, h := range b.sampleSupport(strong, 1+b.rng.Intn(2)) {
+		h.annotate(row.Function)
+	}
+	// Profile confusers, as in scenario 1: single fairly strong profile
+	// paths to functions of related-but-different families. For
+	// hypothetical proteins these are the main competition for the true
+	// function.
+	confusers := map[bio.TermID]bool{}
+	nConfusers := max(1, nSpurious/6)
+	confIdx := 0
+	for _, t := range spurious {
+		if len(confusers) >= nConfusers {
+			break
+		}
+		if b.rng.Bernoulli(0.3) {
+			confusers[t] = true
+			b.ag.Add(sources.Annotation{Term: t, Evidence: "ISS"},
+				func(a, bb string) bool { return prob.AmiGOEvidence.Prob(a) > prob.AmiGOEvidence.Prob(bb) })
+			b.addProfile(b.tigr, fmt.Sprintf("CONF_%s_%d", name, confIdx),
+				consensus, b.rng.Uniform(0.06, 0.26), 0.06, 10, []bio.TermID{t})
+			confIdx++
+		}
+	}
+	// Remaining spurious candidates: weak homolog paths, occasionally a
+	// single medium path, occasionally two weak paths — the latter
+	// create the ties visible in Table 3.
+	for _, t := range spurious {
+		if confusers[t] {
+			continue
+		}
+		if b.rng.Bernoulli(0.12) {
+			for _, h := range b.sampleSupport(medium, 1) {
+				h.annotate(t)
+			}
+			b.ag.Add(sources.Annotation{Term: t, Evidence: "ISS"},
+				func(a, bb string) bool { return prob.AmiGOEvidence.Prob(a) > prob.AmiGOEvidence.Prob(bb) })
+			continue
+		}
+		n := 1
+		if b.rng.Bernoulli(0.3) {
+			n = 2
+		}
+		for _, h := range b.sampleSupport(weak, n) {
+			h.annotate(t)
+		}
+	}
+	b.registerPools(strong, medium, weak)
+
+	// One moderate TIGRFAM family carries the true function plus a
+	// couple of spurious ones (profile annotations are broad); one weak
+	// Pfam family lists only spurious candidates.
+	tigrFns := append([]bio.TermID{}, relevant...)
+	for _, t := range spurious {
+		if b.rng.Bernoulli(0.1) {
+			tigrFns = append(tigrFns, t)
+		}
+	}
+	b.addProfile(b.tigr, "TIGR_"+name, consensus, 0.28, 0.08, 12, tigrFns)
+	var pfFns []bio.TermID
+	for _, t := range spurious {
+		if b.rng.Bernoulli(0.2) {
+			pfFns = append(pfFns, t)
+		}
+	}
+	if len(pfFns) > 0 {
+		b.addProfile(b.pfam, "PF_"+name, consensus, 0.3, 0.12, 8, pfFns)
+	}
+
+	return Case{Protein: name, WellKnown: relevant, Spurious: spurious}
+}
