@@ -25,8 +25,10 @@ package biorank
 
 import (
 	"fmt"
+	"sync"
 
 	"biorank/internal/bio"
+	"biorank/internal/engine"
 	"biorank/internal/graph"
 	"biorank/internal/mediator"
 	"biorank/internal/metrics"
@@ -65,6 +67,10 @@ type Options struct {
 	// Exact computes Reliability exactly (closed solution with factoring
 	// fallback) instead of by simulation.
 	Exact bool
+	// Workers shards the Monte Carlo trials over that many goroutines
+	// with independent deterministic RNG streams. Scores are reproducible
+	// for a fixed (Seed, Workers) pair; 0 or 1 simulates serially.
+	Workers int
 }
 
 // ranker builds the rank.Ranker for a method.
@@ -74,7 +80,7 @@ func (o Options) ranker(m Method) (rank.Ranker, error) {
 		if o.Exact {
 			return rank.Exact{}, nil
 		}
-		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce}, nil
+		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.Workers}, nil
 	case Propagation:
 		return &rank.Propagation{}, nil
 	case Diffusion:
@@ -189,14 +195,49 @@ func (a *Answers) Rank(m Method, o Options) ([]ScoredAnswer, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ScoredAnswer, len(a.qg.Answers))
-	for i, id := range a.qg.Answers {
-		n := a.qg.Node(id)
-		lo, hi := metrics.RankInterval(res.Scores, i)
-		out[i] = ScoredAnswer{Kind: n.Kind, Label: n.Label, Score: res.Scores[i], RankLo: lo, RankHi: hi}
+	return scoredAnswers(a.qg, res.Scores), nil
+}
+
+// RankAll scores every answer under the given semantics (all five when
+// none are named) in one pass over the shared query graph — the graph
+// is resolved and pruned exactly once, the methods run concurrently,
+// and Monte Carlo trials can additionally be sharded via
+// Options.Workers. Scores are identical to calling Rank once per
+// method.
+func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnswer, error) {
+	names := make([]string, len(methods))
+	for i, m := range methods {
+		names[i] = string(m)
+	}
+	results, err := rank.RankAll(a.qg, rank.AllOptions{
+		Trials:    o.Trials,
+		Seed:      o.Seed,
+		Reduce:    o.Reduce,
+		Exact:     o.Exact,
+		MCWorkers: o.Workers,
+		Methods:   names,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Method][]ScoredAnswer, len(results))
+	for name, res := range results {
+		out[Method(name)] = scoredAnswers(a.qg, res.Scores)
+	}
+	return out, nil
+}
+
+// scoredAnswers converts a per-answer score vector into the sorted
+// public representation.
+func scoredAnswers(qg *graph.QueryGraph, scores []float64) []ScoredAnswer {
+	out := make([]ScoredAnswer, len(qg.Answers))
+	for i, id := range qg.Answers {
+		n := qg.Node(id)
+		lo, hi := metrics.RankInterval(scores, i)
+		out[i] = ScoredAnswer{Kind: n.Kind, Label: n.Label, Score: scores[i], RankLo: lo, RankHi: hi}
 	}
 	sortByScore(out)
-	return out, nil
+	return out
 }
 
 func sortByScore(xs []ScoredAnswer) {
@@ -224,10 +265,15 @@ func AveragePrecision(answers []ScoredAnswer, relevant func(label string) bool) 
 func RandomAP(k, n int) float64 { return metrics.RandomAP(k, n) }
 
 // System is a fully populated BioRank instance: eleven integrated
-// sources behind a mediator, queried by protein name.
+// sources behind a mediator, queried by protein name. Batched queries
+// (QueryBatch) run on an internal/engine worker pool with an LRU result
+// cache; the pool is started lazily on first use and released by Close.
 type System struct {
 	world *synth.World
 	med   *mediator.Mediator
+
+	engOnce sync.Once
+	eng     *engine.Engine
 }
 
 // NewDemoSystem builds the synthetic world behind the paper's scenarios
@@ -308,6 +354,95 @@ func (s *System) Query(protein string) (*Answers, error) {
 		return nil, err
 	}
 	return &Answers{qg: qg}, nil
+}
+
+// BatchRequest asks for one protein's answers ranked under one or more
+// methods. A nil Methods slice means all five.
+type BatchRequest struct {
+	Protein string
+	Methods []Method
+	Options Options
+}
+
+// BatchResult is the outcome of one BatchRequest.
+type BatchResult struct {
+	Protein string
+	// Err is non-nil when the query failed; the other fields are then
+	// zero. One failed request never poisons the rest of the batch.
+	Err error
+	// Rankings maps each requested method to its sorted answers.
+	Rankings map[Method][]ScoredAnswer
+	// Cached records which methods were served from the engine's LRU.
+	Cached map[Method]bool
+	// Answers is the shared answer-set handle the methods were scored
+	// on.
+	Answers *Answers
+}
+
+// engineHandle lazily starts the worker-pool engine over the mediator.
+func (s *System) engineHandle() *engine.Engine {
+	s.engOnce.Do(func() {
+		s.eng = engine.New(engine.ResolverFunc(func(p string) (*graph.QueryGraph, error) {
+			return s.med.Explore(p)
+		}), engine.Config{})
+	})
+	return s.eng
+}
+
+// QueryBatch answers a batch of ranking requests on the system's worker
+// pool: each query graph is integrated once and shared by all requested
+// methods, and results are memoized in an LRU keyed by query, graph
+// fingerprint, method and options. Results arrive in request order.
+func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
+	ereqs := make([]engine.Request, len(reqs))
+	for i, r := range reqs {
+		methods := make([]string, len(r.Methods))
+		for j, m := range r.Methods {
+			methods[j] = string(m)
+		}
+		ereqs[i] = engine.Request{
+			Source:  r.Protein,
+			Methods: methods,
+			Options: engine.Options{
+				Trials:    r.Options.Trials,
+				Seed:      r.Options.Seed,
+				Reduce:    r.Options.Reduce,
+				Exact:     r.Options.Exact,
+				MCWorkers: r.Options.Workers,
+			},
+		}
+	}
+	out := make([]BatchResult, len(reqs))
+	for i, resp := range s.engineHandle().QueryBatch(ereqs) {
+		out[i] = BatchResult{Protein: resp.Source, Err: resp.Err}
+		if resp.Err != nil {
+			continue
+		}
+		out[i].Answers = &Answers{qg: resp.Graph}
+		out[i].Rankings = make(map[Method][]ScoredAnswer, len(resp.Results))
+		out[i].Cached = make(map[Method]bool, len(resp.Cached))
+		for name, res := range resp.Results {
+			out[i].Rankings[Method(name)] = scoredAnswers(resp.Graph, res.Scores)
+			out[i].Cached[Method(name)] = resp.Cached[name]
+		}
+	}
+	return out
+}
+
+// CacheStats reports the batch engine's result-cache counters (zeros
+// before the first QueryBatch call). It goes through the same
+// once-guard as QueryBatch, so it is safe to call concurrently with a
+// first batch.
+func (s *System) CacheStats() engine.CacheStats {
+	return s.engineHandle().CacheStats()
+}
+
+// Close releases the batch engine's worker pool. The System remains
+// usable for single queries; later QueryBatch calls fail every request
+// with engine.ErrClosed. Close is safe to call multiple times, from
+// concurrent goroutines, and without ever having batched.
+func (s *System) Close() {
+	s.engineHandle().Close()
 }
 
 // FunctionName returns a human-readable name for a GO term identifier

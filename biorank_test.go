@@ -147,3 +147,139 @@ func TestRandomAPFacade(t *testing.T) {
 		t.Fatal("RandomAP(1,100) should be small")
 	}
 }
+
+func TestAnswersRankAllMatchesPerMethod(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Query("ABCC8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Trials: 500, Seed: 4, Reduce: true}
+	all, err := ans.RankAll(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Methods()) {
+		t.Fatalf("want %d methods, got %d", len(Methods()), len(all))
+	}
+	subset, err := ans.RankAll(o, InEdge, PathCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 {
+		t.Fatalf("subset should rank 2 methods, got %d", len(subset))
+	}
+	for i := range subset[InEdge] {
+		if subset[InEdge][i] != all[InEdge][i] {
+			t.Fatalf("subset scores diverge at answer %d", i)
+		}
+	}
+	for _, m := range Methods() {
+		single, err := ans.Rank(m, o)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		got := all[m]
+		if len(got) != len(single) {
+			t.Fatalf("%s: answer count %d vs %d", m, len(got), len(single))
+		}
+		for i := range single {
+			if got[i] != single[i] {
+				t.Errorf("%s answer %d: RankAll %+v != Rank %+v", m, i, got[i], single[i])
+			}
+		}
+	}
+}
+
+func TestSystemQueryBatch(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	o := Options{Trials: 300, Seed: 2, Reduce: true}
+	reqs := []BatchRequest{
+		{Protein: "ABCC8", Options: o},
+		{Protein: "CFTR", Methods: []Method{Propagation, InEdge}, Options: o},
+		{Protein: "NO-SUCH-PROTEIN", Options: o},
+	}
+	results := sys.QueryBatch(reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("want %d results, got %d", len(reqs), len(results))
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if len(results[0].Rankings) != len(Methods()) {
+		t.Fatalf("nil Methods should rank all five, got %d", len(results[0].Rankings))
+	}
+	if results[1].Err != nil {
+		t.Fatal(results[1].Err)
+	}
+	if len(results[1].Rankings) != 2 {
+		t.Fatalf("want 2 methods for CFTR, got %d", len(results[1].Rankings))
+	}
+	if results[2].Err == nil {
+		t.Fatal("unknown protein should fail its request only")
+	}
+
+	// Batched scores must equal the sequential single-query path.
+	ans, err := sys.Query("ABCC8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ans.Rank(Reliability, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results[0].Rankings[Reliability]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("answer %d: batched %+v != sequential %+v", i, got[i], want[i])
+		}
+	}
+
+	// A repeated batch is served from the cache.
+	again := sys.QueryBatch(reqs[:2])
+	for _, r := range again {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		for m, hit := range r.Cached {
+			if !hit {
+				t.Errorf("%s/%s: repeat batch should hit the cache", r.Protein, m)
+			}
+		}
+	}
+	if s := sys.CacheStats(); s.Hits == 0 {
+		t.Errorf("cache stats show no hits: %+v", s)
+	}
+}
+
+func TestParallelReliabilityOptionDeterministic(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Query("ABCC8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Trials: 4000, Seed: 9, Workers: 4}
+	a, err := ans.Rank(Reliability, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ans.Rank(Reliability, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sharded reliability not deterministic at answer %d", i)
+		}
+	}
+}

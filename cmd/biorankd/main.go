@@ -1,0 +1,311 @@
+// Command biorankd serves BioRank over HTTP: exploratory
+// protein-function queries ranked under any of the five relevance
+// semantics, executed on the concurrent batch engine with its LRU
+// result cache.
+//
+//	biorankd -addr :8080 -world demo -seed 1
+//
+// Endpoints:
+//
+//	POST /query   {"requests":[{"protein":"ABCC8","methods":["reliability"],
+//	               "trials":1000,"seed":1,"reduce":true}]}
+//	              Ranks a batch of queries; a single object (no "requests"
+//	              wrapper) is also accepted, as is GET /query?protein=ABCC8.
+//	POST /rank    {"graph":<query-graph JSON>,"methods":[...],"trials":...}
+//	              Ranks a caller-supplied serialized query graph (the
+//	              format written by biorank -json / Answers.MarshalJSON).
+//	GET  /stats   Engine cache counters and server configuration.
+//	GET  /healthz Liveness probe.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"biorank"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		world = flag.String("world", "demo", "world to serve: demo|hypothetical|full")
+		seed  = flag.Uint64("seed", 1, "world seed")
+	)
+	flag.Parse()
+
+	sys, err := buildSystem(*world, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biorankd:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+
+	srv := &server{sys: sys, world: *world, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/rank", srv.handleRank)
+	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("biorankd: serving %s world on %s", *world, *addr)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+func buildSystem(world string, seed uint64) (*biorank.System, error) {
+	switch world {
+	case "demo":
+		return biorank.NewDemoSystem(seed)
+	case "hypothetical":
+		return biorank.NewHypotheticalSystem(seed)
+	case "full":
+		return biorank.NewFullSystem(seed)
+	default:
+		return nil, fmt.Errorf("unknown world %q (want demo|hypothetical|full)", world)
+	}
+}
+
+type server struct {
+	sys     *biorank.System
+	world   string
+	started time.Time
+}
+
+// queryRequest is the wire form of one ranking request.
+type queryRequest struct {
+	Protein string   `json:"protein"`
+	Methods []string `json:"methods,omitempty"`
+	Trials  int      `json:"trials,omitempty"`
+	Seed    uint64   `json:"seed,omitempty"`
+	Reduce  bool     `json:"reduce,omitempty"`
+	Exact   bool     `json:"exact,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+}
+
+func (q queryRequest) options() biorank.Options {
+	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers}
+}
+
+func (q queryRequest) methods() []biorank.Method {
+	out := make([]biorank.Method, len(q.Methods))
+	for i, m := range q.Methods {
+		out[i] = biorank.Method(m)
+	}
+	return out
+}
+
+// scoredAnswer is the wire form of one ranked answer.
+type scoredAnswer struct {
+	Kind   string  `json:"kind"`
+	Label  string  `json:"label"`
+	Name   string  `json:"name,omitempty"`
+	Score  float64 `json:"score"`
+	RankLo int     `json:"rankLo"`
+	RankHi int     `json:"rankHi"`
+}
+
+// queryResult is the wire form of one ranking response.
+type queryResult struct {
+	Protein  string                    `json:"protein"`
+	Error    string                    `json:"error,omitempty"`
+	Answers  int                       `json:"answers,omitempty"`
+	Rankings map[string][]scoredAnswer `json:"rankings,omitempty"`
+	Cached   map[string]bool           `json:"cached,omitempty"`
+}
+
+func toWire(sa []biorank.ScoredAnswer, named bool) []scoredAnswer {
+	out := make([]scoredAnswer, len(sa))
+	for i, a := range sa {
+		out[i] = scoredAnswer{Kind: a.Kind, Label: a.Label, Score: a.Score, RankLo: a.RankLo, RankHi: a.RankHi}
+		if named {
+			out[i].Name = biorank.FunctionName(a.Label)
+		}
+	}
+	return out
+}
+
+// handleQuery serves batched exploratory queries from the engine.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	reqs, err := parseQueryRequests(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := make([]biorank.BatchRequest, len(reqs))
+	for i, q := range reqs {
+		if q.Protein == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: protein is required", i))
+			return
+		}
+		batch[i] = biorank.BatchRequest{Protein: q.Protein, Methods: q.methods(), Options: q.options()}
+	}
+	results := s.sys.QueryBatch(batch)
+	out := make([]queryResult, len(results))
+	for i, res := range results {
+		out[i] = queryResult{Protein: res.Protein}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+			continue
+		}
+		out[i].Answers = res.Answers.Len()
+		out[i].Rankings = make(map[string][]scoredAnswer, len(res.Rankings))
+		out[i].Cached = make(map[string]bool, len(res.Cached))
+		for m, sa := range res.Rankings {
+			out[i].Rankings[string(m)] = toWire(sa, true)
+			out[i].Cached[string(m)] = res.Cached[m]
+		}
+	}
+	writeJSON(w, map[string]any{"results": out})
+}
+
+// parseQueryRequests accepts GET query parameters, a single JSON
+// object, or a {"requests":[...]} batch.
+func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req := queryRequest{Protein: q.Get("protein")}
+		if m := q.Get("methods"); m != "" {
+			req.Methods = strings.Split(m, ",")
+		}
+		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact} {
+			if v := q.Get(key); v != "" {
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					return nil, fmt.Errorf("bad %s: %v", key, err)
+				}
+				*dst = b
+			}
+		}
+		for key, dst := range map[string]*int{"trials": &req.Trials, "workers": &req.Workers} {
+			if v := q.Get(key); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("bad %s: %v", key, err)
+				}
+				*dst = n
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed: %v", err)
+			}
+			req.Seed = n
+		}
+		return []queryRequest{req}, nil
+	}
+	if r.Method != http.MethodPost {
+		return nil, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	var envelope struct {
+		Requests []queryRequest `json:"requests"`
+		queryRequest
+	}
+	if err := json.NewDecoder(r.Body).Decode(&envelope); err != nil {
+		return nil, fmt.Errorf("bad JSON: %v", err)
+	}
+	if len(envelope.Requests) > 0 {
+		return envelope.Requests, nil
+	}
+	return []queryRequest{envelope.queryRequest}, nil
+}
+
+// rankRequest is the wire form of /rank: a serialized query graph plus
+// evaluation options.
+type rankRequest struct {
+	Graph   json.RawMessage `json:"graph"`
+	Methods []string        `json:"methods,omitempty"`
+	Trials  int             `json:"trials,omitempty"`
+	Seed    uint64          `json:"seed,omitempty"`
+	Reduce  bool            `json:"reduce,omitempty"`
+	Exact   bool            `json:"exact,omitempty"`
+	Workers int             `json:"workers,omitempty"`
+}
+
+// handleRank ranks a caller-supplied query graph under the requested
+// methods, sharing the deserialized graph across all of them.
+func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req rankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	if len(req.Graph) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("graph is required"))
+		return
+	}
+	ans := &biorank.Answers{}
+	if err := ans.UnmarshalJSON(req.Graph); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad graph: %v", err))
+		return
+	}
+	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers}
+	methods := make([]biorank.Method, len(req.Methods))
+	for i, m := range req.Methods {
+		methods[i] = biorank.Method(m)
+	}
+	all, err := ans.RankAll(opts, methods...)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rankings := make(map[string][]scoredAnswer, len(all))
+	for m, sa := range all {
+		rankings[string(m)] = toWire(sa, false)
+	}
+	nodes, edges := ans.GraphSize()
+	writeJSON(w, map[string]any{
+		"answers":  ans.Len(),
+		"nodes":    nodes,
+		"edges":    edges,
+		"rankings": rankings,
+	})
+}
+
+// handleStats reports engine cache counters and server configuration.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"world":    s.world,
+		"uptime":   time.Since(s.started).String(),
+		"proteins": len(s.sys.Proteins()),
+		"sources":  s.sys.Sources(),
+		"cache":    s.sys.CacheStats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("biorankd: encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

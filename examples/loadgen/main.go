@@ -1,0 +1,146 @@
+// Loadgen drives the batch ranking engine the way a busy deployment
+// would: a closed-loop set of clients firing batches of multi-method
+// queries at one shared System, measuring throughput and the effect of
+// the result cache.
+//
+//	go run ./examples/loadgen -clients 8 -rounds 5 -trials 500
+//
+// With -addr it instead targets a running biorankd over HTTP:
+//
+//	go run ./cmd/biorankd &
+//	go run ./examples/loadgen -addr http://localhost:8080 -clients 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"biorank"
+)
+
+func main() {
+	var (
+		clients = flag.Int("clients", 8, "concurrent client goroutines")
+		rounds  = flag.Int("rounds", 5, "batches each client issues")
+		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query")
+		seed    = flag.Uint64("seed", 1, "world and simulation seed")
+		addr    = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
+	)
+	flag.Parse()
+
+	sys, err := biorank.NewDemoSystem(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	proteins := sys.Proteins()
+	opts := biorank.Options{Trials: *trials, Seed: *seed, Reduce: true}
+
+	var queries, methodsScored, errs atomic.Int64
+	run := func(client int) {
+		for round := 0; round < *rounds; round++ {
+			// Each client walks the protein list from its own offset so
+			// early rounds mix cache misses and hits realistically.
+			batch := make([]biorank.BatchRequest, 0, 4)
+			for k := 0; k < 4; k++ {
+				p := proteins[(client*4+round+k)%len(proteins)]
+				batch = append(batch, biorank.BatchRequest{Protein: p, Options: opts})
+			}
+			if *addr != "" {
+				n, m, e := httpBatch(*addr, batch, opts)
+				queries.Add(n)
+				methodsScored.Add(m)
+				errs.Add(e)
+				continue
+			}
+			for _, res := range sys.QueryBatch(batch) {
+				if res.Err != nil {
+					errs.Add(1)
+					continue
+				}
+				queries.Add(1)
+				methodsScored.Add(int64(len(res.Rankings)))
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			run(c)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("loadgen: %d clients x %d rounds against %s\n",
+		*clients, *rounds, target(*addr))
+	fmt.Printf("  %d queries ranked (%d method evaluations, %d errors) in %v\n",
+		queries.Load(), methodsScored.Load(), errs.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("  %.1f queries/sec, %.1f method evaluations/sec\n",
+		float64(queries.Load())/elapsed.Seconds(),
+		float64(methodsScored.Load())/elapsed.Seconds())
+	if *addr == "" {
+		fmt.Printf("  cache: %+v\n", sys.CacheStats())
+	}
+}
+
+func target(addr string) string {
+	if addr == "" {
+		return "in-process engine"
+	}
+	return addr
+}
+
+// httpBatch issues one /query batch against a biorankd instance and
+// returns (queries ok, method evaluations, errors).
+func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) (int64, int64, int64) {
+	type wireReq struct {
+		Protein string `json:"protein"`
+		Trials  int    `json:"trials"`
+		Seed    uint64 `json:"seed"`
+		Reduce  bool   `json:"reduce"`
+	}
+	reqs := make([]wireReq, len(batch))
+	for i, b := range batch {
+		reqs[i] = wireReq{Protein: b.Protein, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce}
+	}
+	body, err := json.Marshal(map[string]any{"requests": reqs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, int64(len(batch))
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results []struct {
+			Error    string                       `json:"error"`
+			Rankings map[string][]json.RawMessage `json:"rankings"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, int64(len(batch))
+	}
+	var ok, methods, errs int64
+	for _, r := range out.Results {
+		if r.Error != "" {
+			errs++
+			continue
+		}
+		ok++
+		methods += int64(len(r.Rankings))
+	}
+	return ok, methods, errs
+}

@@ -1,0 +1,3 @@
+module biorank
+
+go 1.24

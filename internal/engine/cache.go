@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cached ranking result. A key is only ever
+// reproduced by a query whose graph is byte-for-byte equivalent: the
+// fingerprint hashes the full pruned query graph (nodes, edges,
+// probabilities, source, answer set) and the version is the underlying
+// entity graph's mutation counter, so any graph mutation bumps the
+// version, changes the key, and strands the stale entry until the LRU
+// evicts it.
+type cacheKey struct {
+	source  string // query identity (e.g. the protein keyword)
+	fp      uint64 // query-graph fingerprint (answer-set hash)
+	version uint64 // entity-graph mutation counter at resolve time
+	method  string
+	opts    optionsKey
+}
+
+// optionsKey is the comparable projection of Options onto the fields
+// that can change scores. MCWorkers is included because the parallel
+// Monte Carlo stream depends on the (seed, workers) pair.
+type optionsKey struct {
+	trials    int
+	seed      uint64
+	reduce    bool
+	exact     bool
+	mcWorkers int
+}
+
+// CacheStats reports the cache's cumulative effectiveness counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// resultCache is a mutex-guarded LRU mapping cacheKey to score slices.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key    cacheKey
+	scores []float64
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil // caching disabled
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached scores for key, or nil. The returned slice is
+// shared and must not be mutated by callers.
+func (c *resultCache) get(key cacheKey) []float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).scores
+}
+
+// put stores scores under key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key cacheKey, scores []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).scores = scores
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, scores: scores})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

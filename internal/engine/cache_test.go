@@ -1,0 +1,60 @@
+package engine
+
+import "testing"
+
+func key(i int) cacheKey {
+	return cacheKey{source: "s", fp: uint64(i), method: "reliability"}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put(key(1), []float64{1})
+	c.put(key(2), []float64{2})
+	// Touch 1 so 2 becomes the eviction victim.
+	if got := c.get(key(1)); got == nil || got[0] != 1 {
+		t.Fatalf("get(1) = %v", got)
+	}
+	c.put(key(3), []float64{3})
+	if c.get(key(2)) != nil {
+		t.Error("key 2 should have been evicted as least recently used")
+	}
+	if c.get(key(1)) == nil || c.get(key(3)) == nil {
+		t.Error("keys 1 and 3 should survive")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := newResultCache(2)
+	c.put(key(1), []float64{1})
+	c.put(key(1), []float64{10})
+	if got := c.get(key(1)); got[0] != 10 {
+		t.Fatalf("update not applied: %v", got)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Errorf("duplicate put must not grow the cache: %d entries", s.Entries)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	var c *resultCache // engine uses a nil cache when caching is off
+	if c.get(key(1)) != nil {
+		t.Fatal("nil cache must always miss")
+	}
+	c.put(key(1), []float64{1}) // must not panic
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	if newResultCache(-1) != nil {
+		t.Fatal("non-positive capacity should disable the cache")
+	}
+}

@@ -1,0 +1,282 @@
+// Package engine is BioRank's concurrent query/ranking engine: a
+// worker-pool executor that accepts batches of (query, methods, options)
+// requests and turns them into ranked answer sets as fast as the
+// hardware allows.
+//
+// Three mechanisms do the heavy lifting:
+//
+//   - Batching with a worker pool. A QueryBatch call fans its requests
+//     out over a fixed pool of workers, so a burst of queries saturates
+//     every core instead of queueing behind one sequential loop.
+//   - Shared query graphs. Each request resolves (or receives) ONE
+//     pruned graph.QueryGraph and scores all requested semantics over it
+//     via rank.RankAll — the graph is never rebuilt per method, and the
+//     reliability estimator can additionally shard its Monte Carlo
+//     trials over goroutines (Options.MCWorkers) with deterministic
+//     per-shard RNG streams.
+//   - Result caching. Scores are memoized in an LRU keyed by (source,
+//     query-graph fingerprint, graph version, method, options). Mutating
+//     the underlying entity graph bumps its version, which changes every
+//     key derived from it, so stale results can never be served.
+//
+// The engine is safe for concurrent use; any number of goroutines may
+// call QueryBatch and Rank simultaneously.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"biorank/internal/graph"
+	"biorank/internal/rank"
+)
+
+// Resolver turns a query source string (e.g. a protein keyword) into a
+// pruned probabilistic query graph. Implementations must be safe for
+// concurrent use; the mediator's Explore qualifies because it builds a
+// fresh graph per call from immutable sources.
+type Resolver interface {
+	Resolve(source string) (*graph.QueryGraph, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(source string) (*graph.QueryGraph, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(source string) (*graph.QueryGraph, error) { return f(source) }
+
+// Options tune how a request's methods are evaluated. The zero value
+// uses the paper's defaults (10,000-trial serial Monte Carlo, no
+// reductions).
+type Options struct {
+	// Trials is the Monte Carlo budget for reliability (0 means
+	// rank.DefaultTrials).
+	Trials int
+	// Seed makes reliability simulations reproducible.
+	Seed uint64
+	// Reduce applies the Section 3.1.2 graph reductions first.
+	Reduce bool
+	// Exact computes reliability exactly instead of by simulation.
+	Exact bool
+	// MCWorkers shards Monte Carlo trials over goroutines; scores are
+	// deterministic for a fixed (Seed, MCWorkers) pair.
+	MCWorkers int
+}
+
+func (o Options) key() optionsKey {
+	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers}
+}
+
+// Request is one unit of work in a batch: rank the answers of a query
+// under one or more semantics.
+type Request struct {
+	// Source is the query handed to the engine's Resolver. Ignored when
+	// Graph is set, but still used (verbatim) in the cache key and echoed
+	// in the response.
+	Source string
+	// Graph, when non-nil, is a pre-resolved query graph to rank
+	// directly, bypassing the Resolver.
+	Graph *graph.QueryGraph
+	// Methods lists the semantics to evaluate; nil or empty means all
+	// five (rank.MethodNames).
+	Methods []string
+	// Options tune evaluation.
+	Options Options
+}
+
+// Response is the outcome of one Request.
+type Response struct {
+	// Source echoes the request's Source.
+	Source string
+	// Err is non-nil if the query could not be resolved or ranked; the
+	// other fields are then zero.
+	Err error
+	// Graph is the shared pruned query graph the methods were scored on.
+	Graph *graph.QueryGraph
+	// Results maps method name to its scores over Graph.Answers.
+	Results map[string]rank.Result
+	// Cached records, per method, whether the scores came from the LRU.
+	Cached map[string]bool
+}
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the worker-pool size; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize is the LRU capacity in (query, method, options) entries;
+	// 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+}
+
+// DefaultCacheSize is the default LRU capacity.
+const DefaultCacheSize = 4096
+
+// ErrClosed is the per-request error of batches submitted after Close.
+var ErrClosed = fmt.Errorf("engine: closed")
+
+// Engine executes batched ranking requests over a worker pool. Create
+// one with New and release its workers with Close.
+type Engine struct {
+	resolver Resolver
+	cache    *resultCache
+	jobs     chan job
+	wg       sync.WaitGroup
+	workers  int
+
+	// mu orders submissions against Close: submitters hold the read
+	// side while enqueueing, so Close cannot close the jobs channel
+	// under a pending send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+type job struct {
+	req  *Request
+	resp *Response
+	done func()
+}
+
+// New builds an engine over the given resolver (which may be nil if all
+// requests carry pre-resolved graphs) and starts its worker pool.
+func New(resolver Resolver, cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	e := &Engine{
+		resolver: resolver,
+		cache:    newResultCache(size), // nil when size < 0
+		jobs:     make(chan job),
+		workers:  workers,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close shuts the worker pool down and waits for it to drain.
+// In-flight batches complete; QueryBatch calls after Close fail every
+// request with ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// CacheStats snapshots the result cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		e.execute(j.req, j.resp)
+		j.done()
+	}
+}
+
+// QueryBatch executes all requests on the worker pool and returns the
+// responses in request order. It blocks until the whole batch is done.
+// Per-request failures land in Response.Err; QueryBatch itself never
+// fails partially. After Close every response carries ErrClosed.
+func (e *Engine) QueryBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		for i := range reqs {
+			out[i].Source = reqs[i].Source
+			out[i].Err = ErrClosed
+		}
+		return out
+	}
+	wg.Add(len(reqs))
+	for i := range reqs {
+		e.jobs <- job{req: &reqs[i], resp: &out[i], done: wg.Done}
+	}
+	e.mu.RUnlock()
+	wg.Wait()
+	return out
+}
+
+// Rank executes a single request (a batch of one).
+func (e *Engine) Rank(req Request) Response {
+	return e.QueryBatch([]Request{req})[0]
+}
+
+// execute resolves and ranks one request into resp.
+func (e *Engine) execute(req *Request, resp *Response) {
+	resp.Source = req.Source
+	qg := req.Graph
+	if qg == nil {
+		if e.resolver == nil {
+			resp.Err = fmt.Errorf("engine: request %q has no graph and no resolver is configured", req.Source)
+			return
+		}
+		var err error
+		qg, err = e.resolver.Resolve(req.Source)
+		if err != nil {
+			resp.Err = err
+			return
+		}
+	}
+	resp.Graph = qg
+
+	methods := req.Methods
+	if len(methods) == 0 {
+		methods = rank.MethodNames
+	}
+	fp := qg.Fingerprint()
+	version := qg.Version()
+	okey := req.Options.key()
+
+	results := make(map[string]rank.Result, len(methods))
+	cached := make(map[string]bool, len(methods))
+	var misses []string
+	for _, m := range methods {
+		if scores := e.cache.get(cacheKey{source: req.Source, fp: fp, version: version, method: m, opts: okey}); scores != nil {
+			results[m] = rank.Result{Method: m, Scores: scores}
+			cached[m] = true
+			continue
+		}
+		misses = append(misses, m)
+	}
+
+	if len(misses) > 0 {
+		fresh, err := rank.RankAll(qg, rank.AllOptions{
+			Trials:    req.Options.Trials,
+			Seed:      req.Options.Seed,
+			Reduce:    req.Options.Reduce,
+			Exact:     req.Options.Exact,
+			MCWorkers: req.Options.MCWorkers,
+			Methods:   misses,
+		})
+		if err != nil {
+			resp.Err = err
+			return
+		}
+		for m, res := range fresh {
+			results[m] = res
+			cached[m] = false
+			e.cache.put(cacheKey{source: req.Source, fp: fp, version: version, method: m, opts: okey}, res.Scores)
+		}
+	}
+	resp.Results = results
+	resp.Cached = cached
+}

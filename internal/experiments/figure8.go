@@ -11,11 +11,15 @@ import (
 // milliseconds) a method needs per scenario-1 query graph, next to the
 // paper's measurement on its 2008 hardware. Absolute values differ
 // across machines; the ordering and ratios are what the experiment
-// checks.
+// checks. For Monte Carlo configurations Ops additionally records the
+// deterministic operation counters of the simulation summed over all
+// graphs — unlike the timings, those are reproducible bit-for-bit and
+// independent of machine load.
 type Fig8Row struct {
 	Method  string
 	MS      APStat // mean/std milliseconds per query graph
 	PaperMS float64
+	Ops     rank.OpStats // zero for non-simulation methods
 }
 
 // Fig8Result bundles both panels of Figure 8 plus the quoted headline
@@ -34,6 +38,12 @@ type Fig8Result struct {
 	// ReductionSpeedup is naive-MC time / (reduce + traversal-MC) time
 	// (paper: 13.4, i.e. -93%).
 	ReductionSpeedup float64
+	// TraversalOpSpeedup and ReductionOpSpeedup are the same two ratios
+	// measured in simulation operations (coin flips + node visits)
+	// instead of wall-clock time. They are fully determined by the world
+	// seed and therefore never flake under load.
+	TraversalOpSpeedup float64
+	ReductionOpSpeedup float64
 	// ElemReduction is the average fraction of nodes+edges removed by
 	// the reduction rules (paper: 0.78).
 	ElemReduction float64
@@ -70,6 +80,23 @@ func rankTimer(r rank.Ranker) func(*graph.QueryGraph) error {
 	}
 }
 
+// mcOps sums a Monte Carlo configuration's deterministic operation
+// counters over all graphs (one run each; the counters do not vary
+// across repetitions of the same seed).
+func mcOps(graphs []*graph.QueryGraph, mc *rank.MonteCarlo) (rank.OpStats, error) {
+	var total rank.OpStats
+	for _, qg := range graphs {
+		_, ops, err := mc.RankWithStats(qg)
+		if err != nil {
+			return rank.OpStats{}, err
+		}
+		total.Trials += ops.Trials
+		total.NodeVisits += ops.NodeVisits
+		total.CoinFlips += ops.CoinFlips
+	}
+	return total, nil
+}
+
 // Figure8 reproduces the efficiency study on the scenario-1 query
 // graphs.
 func (s *Suite) Figure8() (Fig8Result, error) {
@@ -84,55 +111,77 @@ func (s *Suite) Figure8() (Fig8Result, error) {
 	result.AvgNodes /= float64(len(graphs))
 	result.AvgEdges /= float64(len(graphs))
 
-	// Panel A.
+	// Panel A. mc is set for simulation configurations, whose
+	// deterministic operation counters are collected alongside the
+	// timings.
 	type cfg struct {
 		name    string
 		ranker  rank.Ranker
 		paperMS float64
+		mc      *rank.MonteCarlo
 	}
+	m1 := &rank.MonteCarlo{Trials: 10000, Seed: seed}
+	m2 := &rank.MonteCarlo{Trials: 1000, Seed: seed}
+	rm1 := &rank.MonteCarlo{Trials: 10000, Seed: seed, Reduce: true}
+	rm2 := &rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}
 	panelA := []cfg{
-		{"M1 (MC 10000)", &rank.MonteCarlo{Trials: 10000, Seed: seed}, 731},
-		{"M2 (MC 1000)", &rank.MonteCarlo{Trials: 1000, Seed: seed}, 74},
-		{"C (closed)", rank.Exact{}, 97},
-		{"R&M1", &rank.MonteCarlo{Trials: 10000, Seed: seed, Reduce: true}, 151},
-		{"R&M2", &rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}, 18},
-		{"R&C (reduce+closed)", reduceThenExact{}, 20},
+		{"M1 (MC 10000)", m1, 731, m1},
+		{"M2 (MC 1000)", m2, 74, m2},
+		{"C (closed)", rank.Exact{}, 97, nil},
+		{"R&M1", rm1, 151, rm1},
+		{"R&M2", rm2, 18, rm2},
+		{"R&C (reduce+closed)", reduceThenExact{}, 20, nil},
 	}
 	for _, c := range panelA {
 		ms, err := timePerGraph(graphs, rankTimer(c.ranker))
 		if err != nil {
 			return Fig8Result{}, err
 		}
-		result.A = append(result.A, Fig8Row{Method: c.name, MS: apStat(ms), PaperMS: c.paperMS})
+		row := Fig8Row{Method: c.name, MS: apStat(ms), PaperMS: c.paperMS}
+		if c.mc != nil {
+			if row.Ops, err = mcOps(graphs, c.mc); err != nil {
+				return Fig8Result{}, err
+			}
+		}
+		result.A = append(result.A, row)
 	}
 
 	// Panel B: the five methods, reliability in the paper's benchmark
 	// configuration (reduction + 1000-trial Monte Carlo).
 	panelB := []cfg{
-		{"reliability", &rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}, 17.9},
-		{"propagation", &rank.Propagation{}, 5.2},
-		{"diffusion", &rank.Diffusion{}, 5.8},
-		{"inedge", rank.InEdge{}, 0.5},
-		{"pathcount", rank.PathCount{}, 1.0},
+		{"reliability", rm2, 17.9, rm2},
+		{"propagation", &rank.Propagation{}, 5.2, nil},
+		{"diffusion", &rank.Diffusion{}, 5.8, nil},
+		{"inedge", rank.InEdge{}, 0.5, nil},
+		{"pathcount", rank.PathCount{}, 1.0, nil},
 	}
 	for _, c := range panelB {
 		ms, err := timePerGraph(graphs, rankTimer(c.ranker))
 		if err != nil {
 			return Fig8Result{}, err
 		}
-		result.B = append(result.B, Fig8Row{Method: c.name, MS: apStat(ms), PaperMS: c.paperMS})
+		row := Fig8Row{Method: c.name, MS: apStat(ms), PaperMS: c.paperMS}
+		if c.mc != nil {
+			if row.Ops, err = mcOps(graphs, c.mc); err != nil {
+				return Fig8Result{}, err
+			}
+		}
+		result.B = append(result.B, row)
 	}
 
-	// Headline speedups: naive vs traversal vs reduce+traversal.
-	naiveMS, err := timePerGraph(graphs, rankTimer(&rank.MonteCarlo{Trials: 1000, Seed: seed, Naive: true}))
+	// Headline speedups: naive vs traversal vs reduce+traversal, in both
+	// wall-clock time (comparable to the paper's numbers) and
+	// deterministic simulation operations (load-independent).
+	naiveCfg := &rank.MonteCarlo{Trials: 1000, Seed: seed, Naive: true}
+	naiveMS, err := timePerGraph(graphs, rankTimer(naiveCfg))
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	travMS, err := timePerGraph(graphs, rankTimer(&rank.MonteCarlo{Trials: 1000, Seed: seed}))
+	travMS, err := timePerGraph(graphs, rankTimer(m2))
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	redMS, err := timePerGraph(graphs, rankTimer(&rank.MonteCarlo{Trials: 1000, Seed: seed, Reduce: true}))
+	redMS, err := timePerGraph(graphs, rankTimer(rm2))
 	if err != nil {
 		return Fig8Result{}, err
 	}
@@ -142,6 +191,20 @@ func (s *Suite) Figure8() (Fig8Result, error) {
 	}
 	if red > 0 {
 		result.ReductionSpeedup = naive / red
+	}
+	naiveOps, err := mcOps(graphs, naiveCfg)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	// The traversal and reduction counters were already collected for
+	// the M2 and R&M2 bars of panel A; the simulation is deterministic,
+	// so reuse them instead of re-running it.
+	travOps, redOps := result.A[1].Ops, result.A[4].Ops
+	if t := travOps.Total(); t > 0 {
+		result.TraversalOpSpeedup = float64(naiveOps.Total()) / float64(t)
+	}
+	if t := redOps.Total(); t > 0 {
+		result.ReductionOpSpeedup = float64(naiveOps.Total()) / float64(t)
 	}
 
 	// Average element reduction of the rules.

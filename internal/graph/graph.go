@@ -49,7 +49,16 @@ type Graph struct {
 	in    [][]EdgeID // incoming edge IDs per node
 
 	byLabel map[string]NodeID // "Kind/Label" -> id; built lazily
+
+	// version counts structural and probability mutations. Caches keyed
+	// by (graph identity, version) are invalidated for free: a mutation
+	// bumps the version, so stale entries can never be looked up again.
+	version uint64
 }
+
+// Version returns the graph's mutation counter. It starts at 0 and is
+// bumped by AddNode, AddEdge, SetNodeP and SetEdgeQ. Clone preserves it.
+func (g *Graph) Version() uint64 { return g.version }
 
 // New returns an empty graph with capacity hints for n nodes and m edges.
 func New(n, m int) *Graph {
@@ -72,6 +81,7 @@ func (g *Graph) AddNode(kind, label string, p float64) NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.byLabel = nil
+	g.version++
 	return id
 }
 
@@ -87,6 +97,7 @@ func (g *Graph) AddEdge(from, to NodeID, kind string, q float64) EdgeID {
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Kind: kind, Q: q})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.version++
 	return id
 }
 
@@ -110,6 +121,7 @@ func (g *Graph) SetNodeP(id NodeID, p float64) {
 		panic("graph: probability outside [0,1]")
 	}
 	g.nodes[id].P = p
+	g.version++
 }
 
 // SetEdgeQ updates an edge probability.
@@ -118,6 +130,7 @@ func (g *Graph) SetEdgeQ(id EdgeID, q float64) {
 		panic("graph: probability outside [0,1]")
 	}
 	g.edges[id].Q = q
+	g.version++
 }
 
 // Out returns the IDs of edges leaving n. The returned slice is owned by
@@ -149,10 +162,11 @@ func (g *Graph) Lookup(kind, label string) (NodeID, bool) {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		nodes: append([]Node(nil), g.nodes...),
-		edges: append([]Edge(nil), g.edges...),
-		out:   make([][]EdgeID, len(g.out)),
-		in:    make([][]EdgeID, len(g.in)),
+		nodes:   append([]Node(nil), g.nodes...),
+		edges:   append([]Edge(nil), g.edges...),
+		version: g.version,
+		out:     make([][]EdgeID, len(g.out)),
+		in:      make([][]EdgeID, len(g.in)),
 	}
 	for i := range g.out {
 		c.out[i] = append([]EdgeID(nil), g.out[i]...)

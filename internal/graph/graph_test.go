@@ -290,3 +290,61 @@ func TestCloneShallowProbsIndependent(t *testing.T) {
 		t.Fatal("CloneShallowProbs lost query structure")
 	}
 }
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	g := New(2, 2)
+	if g.Version() != 0 {
+		t.Fatalf("fresh graph version %d, want 0", g.Version())
+	}
+	a := g.AddNode("K", "a", 1)
+	b := g.AddNode("K", "b", 0.5)
+	e := g.AddEdge(a, b, "r", 0.7)
+	after := g.Version()
+	if after != 3 {
+		t.Fatalf("version %d after 3 mutations, want 3", after)
+	}
+	g.SetNodeP(b, 0.6)
+	g.SetEdgeQ(e, 0.8)
+	if g.Version() != after+2 {
+		t.Fatalf("probability updates must bump the version: %d", g.Version())
+	}
+	if c := g.Clone(); c.Version() != g.Version() {
+		t.Fatalf("Clone must preserve the version: %d vs %d", c.Version(), g.Version())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	build := func(p float64) *QueryGraph {
+		g := New(3, 2)
+		s := g.AddNode("Q", "s", 1)
+		m := g.AddNode("K", "m", p)
+		a := g.AddNode("F", "a", 1)
+		g.AddEdge(s, m, "r", 0.5)
+		g.AddEdge(m, a, "r", 0.5)
+		qg, err := NewQueryGraph(g, s, []NodeID{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qg
+	}
+	qg1, qg2 := build(0.9), build(0.9)
+	if qg1.Fingerprint() != qg2.Fingerprint() {
+		t.Fatal("structurally identical query graphs must share a fingerprint")
+	}
+	if qg1.Fingerprint() != qg1.Fingerprint() {
+		t.Fatal("fingerprint must be stable")
+	}
+	if build(0.8).Fingerprint() == qg1.Fingerprint() {
+		t.Fatal("changing a node probability must change the fingerprint")
+	}
+	qg3 := build(0.9)
+	qg3.SetEdgeQ(0, 0.4)
+	if qg3.Fingerprint() == qg1.Fingerprint() {
+		t.Fatal("changing an edge probability must change the fingerprint")
+	}
+	qg4 := build(0.9)
+	qg4.Answers = nil
+	if qg4.Fingerprint() == qg1.Fingerprint() {
+		t.Fatal("changing the answer set must change the fingerprint")
+	}
+}

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
 
 // QueryGraph is the probabilistic query graph of Definition 2.3: a
 // probabilistic entity graph together with a distinguished query node s
@@ -64,6 +68,47 @@ func (qg *QueryGraph) Prune() *QueryGraph {
 func (qg *QueryGraph) CloneShallowProbs() *QueryGraph {
 	g := qg.Graph.Clone()
 	return &QueryGraph{Graph: g, Source: qg.Source, Answers: append([]NodeID(nil), qg.Answers...)}
+}
+
+// Fingerprint returns a structural hash of the query graph: every node
+// (kind, label, p), every edge (endpoints, kind, q), the source, and the
+// answer set all feed an FNV-1a digest. Two query graphs with the same
+// fingerprint score identically under every relevance semantics, so the
+// fingerprint — together with the underlying graph's Version — is a safe
+// cache key for ranking results.
+func (qg *QueryGraph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wu(uint64(qg.NumNodes()))
+	for i := 0; i < qg.NumNodes(); i++ {
+		n := qg.Node(NodeID(i))
+		ws(n.Kind)
+		ws(n.Label)
+		wu(math.Float64bits(n.P))
+	}
+	wu(uint64(qg.NumEdges()))
+	for i := 0; i < qg.NumEdges(); i++ {
+		e := qg.Edge(EdgeID(i))
+		wu(uint64(uint32(e.From))<<32 | uint64(uint32(e.To)))
+		ws(e.Kind)
+		wu(math.Float64bits(e.Q))
+	}
+	wu(uint64(uint32(qg.Source)))
+	wu(uint64(len(qg.Answers)))
+	for _, a := range qg.Answers {
+		wu(uint64(uint32(a)))
+	}
+	return h.Sum64()
 }
 
 // AnswerIndex returns a map from answer node ID to its index within the

@@ -90,7 +90,7 @@ func (a *AdaptiveMonteCarlo) simulate(qg *graph.QueryGraph) ([]float64, int, err
 	total := make([]int64, n)
 	trials := 0
 	for trials < maxTrials {
-		counts := traversalCounts(qg, batch, rng)
+		counts := traversalCounts(qg, batch, rng, nil)
 		for i := range total {
 			total[i] += counts[i]
 		}

@@ -1,0 +1,115 @@
+package rank
+
+import (
+	"sync"
+
+	"biorank/internal/graph"
+)
+
+// MethodNames lists the five ranking semantics in the paper's display
+// order, as the stable identifiers returned by Ranker.Name.
+var MethodNames = []string{"reliability", "propagation", "diffusion", "inedge", "pathcount"}
+
+// AllOptions configures a RankAll pass.
+type AllOptions struct {
+	// Trials is the Monte Carlo budget for reliability (0 means
+	// DefaultTrials).
+	Trials int
+	// Seed makes the reliability simulation reproducible.
+	Seed uint64
+	// Reduce applies the Section 3.1.2 reductions before simulating.
+	Reduce bool
+	// Exact computes reliability exactly instead of by simulation.
+	Exact bool
+	// MCWorkers shards the Monte Carlo trials over that many goroutines
+	// (deterministic for a fixed (Seed, MCWorkers); 0 or 1 is serial).
+	MCWorkers int
+	// Sequential disables the per-method parallelism, evaluating the five
+	// semantics one after another. Scores are identical either way; the
+	// flag exists for benchmarking and for callers that are already
+	// saturating the CPU with query-level parallelism.
+	Sequential bool
+	// Methods restricts the pass to a subset of MethodNames; nil or empty
+	// means all five.
+	Methods []string
+}
+
+// ranker builds the Ranker for a method name under these options.
+func (o AllOptions) ranker(name string) (Ranker, bool) {
+	switch name {
+	case "reliability":
+		if o.Exact {
+			return Exact{}, true
+		}
+		return &MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.MCWorkers}, true
+	case "propagation":
+		return &Propagation{}, true
+	case "diffusion":
+		return &Diffusion{}, true
+	case "inedge":
+		return InEdge{}, true
+	case "pathcount":
+		return PathCount{}, true
+	default:
+		return nil, false
+	}
+}
+
+// RankAll scores the answer set under all five relevance semantics (or
+// the subset in o.Methods) in one pass over a single shared query graph.
+// The graph is never copied or rebuilt between methods: every ranker
+// reads the same pruned qg, and by default they run concurrently — the
+// rankers only read the graph, so the pass is race-free. The result maps
+// method name to its Result; scores are bit-identical to running each
+// method alone.
+func RankAll(qg *graph.QueryGraph, o AllOptions) (map[string]Result, error) {
+	if err := validate(qg); err != nil {
+		return nil, err
+	}
+	methods := o.Methods
+	if len(methods) == 0 {
+		methods = MethodNames
+	}
+	rankers := make([]Ranker, len(methods))
+	for i, name := range methods {
+		r, ok := o.ranker(name)
+		if !ok {
+			return nil, &UnknownMethodError{Method: name}
+		}
+		rankers[i] = r
+	}
+
+	results := make([]Result, len(methods))
+	errs := make([]error, len(methods))
+	if o.Sequential {
+		for i, r := range rankers {
+			results[i], errs[i] = r.Rank(qg)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, r := range rankers {
+			wg.Add(1)
+			go func(i int, r Ranker) {
+				defer wg.Done()
+				results[i], errs[i] = r.Rank(qg)
+			}(i, r)
+		}
+		wg.Wait()
+	}
+
+	out := make(map[string]Result, len(methods))
+	for i, name := range methods {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[name] = results[i]
+	}
+	return out, nil
+}
+
+// UnknownMethodError reports a method name outside MethodNames.
+type UnknownMethodError struct{ Method string }
+
+func (e *UnknownMethodError) Error() string {
+	return "rank: unknown method \"" + e.Method + "\""
+}

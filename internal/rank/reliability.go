@@ -49,24 +49,52 @@ type MonteCarlo struct {
 // ε=0.02 and 95% confidence ("10,000 trials should be enough").
 const DefaultTrials = 10000
 
+// OpStats counts the work a Monte Carlo simulation performs, in
+// machine-independent units. Unlike wall-clock time, the counters are
+// fully determined by (graph, trials, seed, workers), which makes them
+// suitable for efficiency assertions in tests and for capacity planning.
+type OpStats struct {
+	Trials     int64 // simulation trials executed
+	NodeVisits int64 // nodes found present and expanded, summed over trials
+	CoinFlips  int64 // Bernoulli coin flips drawn, summed over trials
+}
+
+// Total returns the combined operation count, the deterministic analogue
+// of elapsed time for comparing simulation strategies.
+func (s OpStats) Total() int64 { return s.NodeVisits + s.CoinFlips }
+
+func (s *OpStats) merge(o OpStats) {
+	s.Trials += o.Trials
+	s.NodeVisits += o.NodeVisits
+	s.CoinFlips += o.CoinFlips
+}
+
 // Name implements Ranker.
 func (m *MonteCarlo) Name() string { return "reliability" }
 
 // Rank implements Ranker.
 func (m *MonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
+	res, _, err := m.RankWithStats(qg)
+	return res, err
+}
+
+// RankWithStats ranks like Rank and additionally reports the operation
+// counts of the underlying simulation (after reductions, if enabled).
+func (m *MonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStats, error) {
 	if err := validate(qg); err != nil {
-		return Result{}, err
+		return Result{}, OpStats{}, err
 	}
 	trials := m.Trials
 	if trials <= 0 {
 		trials = DefaultTrials
 	}
+	var ops OpStats
 	res := Result{Method: m.Name()}
 	if m.Reduce {
 		red, _, mapping := ReduceAll(qg)
-		inner, err := m.simulate(red, trials)
+		inner, err := m.simulate(red, trials, &ops)
 		if err != nil {
-			return Result{}, err
+			return Result{}, OpStats{}, err
 		}
 		res.Scores = make([]float64, len(qg.Answers))
 		for i, j := range mapping {
@@ -74,29 +102,29 @@ func (m *MonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
 				res.Scores[i] = inner[j]
 			}
 		}
-		return res, nil
+		return res, ops, nil
 	}
-	scores, err := m.simulate(qg, trials)
+	scores, err := m.simulate(qg, trials, &ops)
 	if err != nil {
-		return Result{}, err
+		return Result{}, OpStats{}, err
 	}
 	res.Scores = scores
-	return res, nil
+	return res, ops, nil
 }
 
-func (m *MonteCarlo) simulate(qg *graph.QueryGraph, trials int) ([]float64, error) {
+func (m *MonteCarlo) simulate(qg *graph.QueryGraph, trials int, ops *OpStats) ([]float64, error) {
 	if m.Naive {
-		return naiveMC(qg, trials, m.Seed), nil
+		return naiveMC(qg, trials, m.Seed, ops), nil
 	}
 	if m.Workers > 1 {
-		return parallelTraversalMC(qg, trials, m.Seed, m.Workers), nil
+		return parallelTraversalMC(qg, trials, m.Seed, m.Workers, ops), nil
 	}
-	return traversalMC(qg, trials, m.Seed), nil
+	return traversalMC(qg, trials, m.Seed, ops), nil
 }
 
 // traversalMC is Algorithm 3.1: per-trial lazy DFS from the source.
-func traversalMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
-	reach := traversalCounts(qg, trials, prob.NewRNG(seed))
+func traversalMC(qg *graph.QueryGraph, trials int, seed uint64, ops *OpStats) []float64 {
+	reach := traversalCounts(qg, trials, prob.NewRNG(seed), ops)
 	scores := make([]float64, len(qg.Answers))
 	for i, a := range qg.Answers {
 		scores[i] = float64(reach[a]) / float64(trials)
@@ -106,11 +134,12 @@ func traversalMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
 
 // parallelTraversalMC fans the trials out over workers goroutines, each
 // with its own RNG stream, and merges the per-node reach counts.
-func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers int) []float64 {
+func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers int, ops *OpStats) []float64 {
 	if workers > trials {
 		workers = trials
 	}
 	counts := make([][]int64, workers)
+	shardOps := make([]OpStats, workers)
 	var wg sync.WaitGroup
 	base := trials / workers
 	extra := trials % workers
@@ -124,10 +153,15 @@ func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers 
 			defer wg.Done()
 			// Distinct, deterministic stream per worker.
 			rng := prob.NewRNG(seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
-			counts[w] = traversalCounts(qg, share, rng)
+			counts[w] = traversalCounts(qg, share, rng, &shardOps[w])
 		}(w, share)
 	}
 	wg.Wait()
+	if ops != nil {
+		for w := range shardOps {
+			ops.merge(shardOps[w])
+		}
+	}
 	scores := make([]float64, len(qg.Answers))
 	for i, a := range qg.Answers {
 		var total int64
@@ -140,19 +174,22 @@ func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers 
 }
 
 // traversalCounts runs the lazy-DFS simulation and returns per-node
-// reach counts.
-func traversalCounts(qg *graph.QueryGraph, trials int, rng *prob.RNG) []int64 {
+// reach counts. ops, when non-nil, accumulates operation counters.
+func traversalCounts(qg *graph.QueryGraph, trials int, rng *prob.RNG, ops *OpStats) []int64 {
 	n := qg.NumNodes()
 	lastSim := make([]int32, n) // trial number of last visit; 0 = never
 	reach := make([]int64, n)
 	stack := make([]graph.NodeID, 0, 64)
+	var flips, visits int64
 
 	for t := int32(1); t <= int32(trials); t++ {
 		stack = stack[:0]
 		// Visit the source.
 		lastSim[qg.Source] = t
+		flips++
 		if rng.Bernoulli(qg.Node(qg.Source).P) {
 			reach[qg.Source]++
+			visits++
 			stack = append(stack, qg.Source)
 		}
 		for len(stack) > 0 {
@@ -163,22 +200,28 @@ func traversalCounts(qg *graph.QueryGraph, trials int, rng *prob.RNG) []int64 {
 				if lastSim[e.To] == t {
 					continue // already decided this trial
 				}
+				flips++
 				if !rng.Bernoulli(e.Q) {
 					continue // edge failed
 				}
 				lastSim[e.To] = t
+				flips++
 				if rng.Bernoulli(qg.Node(e.To).P) {
 					reach[e.To]++
+					visits++
 					stack = append(stack, e.To)
 				}
 			}
 		}
 	}
+	if ops != nil {
+		ops.merge(OpStats{Trials: int64(trials), NodeVisits: visits, CoinFlips: flips})
+	}
 	return reach
 }
 
 // naiveMC flips every node and edge coin, then tests connectivity.
-func naiveMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
+func naiveMC(qg *graph.QueryGraph, trials int, seed uint64, ops *OpStats) []float64 {
 	rng := prob.NewRNG(seed)
 	n := qg.NumNodes()
 	mEdges := qg.NumEdges()
@@ -187,8 +230,10 @@ func naiveMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
 	seen := make([]bool, n)
 	reach := make([]int64, n)
 	stack := make([]graph.NodeID, 0, 64)
+	var flips, visits int64
 
 	for t := 0; t < trials; t++ {
+		flips += int64(n) + int64(mEdges)
 		for i := 0; i < n; i++ {
 			nodeUp[i] = rng.Bernoulli(qg.Node(graph.NodeID(i)).P)
 			seen[i] = false
@@ -202,6 +247,7 @@ func naiveMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
 		stack = append(stack[:0], qg.Source)
 		seen[qg.Source] = true
 		reach[qg.Source]++
+		visits++
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -215,9 +261,13 @@ func naiveMC(qg *graph.QueryGraph, trials int, seed uint64) []float64 {
 				}
 				seen[to] = true
 				reach[to]++
+				visits++
 				stack = append(stack, to)
 			}
 		}
+	}
+	if ops != nil {
+		ops.merge(OpStats{Trials: int64(trials), NodeVisits: visits, CoinFlips: flips})
 	}
 	scores := make([]float64, len(qg.Answers))
 	for i, a := range qg.Answers {
