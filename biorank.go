@@ -26,10 +26,12 @@ package biorank
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"biorank/internal/bio"
 	"biorank/internal/engine"
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 	"biorank/internal/mediator"
 	"biorank/internal/metrics"
 	"biorank/internal/query"
@@ -71,20 +73,30 @@ type Options struct {
 	// with independent deterministic RNG streams. Scores are reproducible
 	// for a fixed (Seed, Workers) pair; 0 or 1 simulates serially.
 	Workers int
+	// Adaptive replaces the fixed-trial Reliability simulation with the
+	// early-stopping estimator: simulation proceeds in batches and stops
+	// as soon as a Theorem 3.1-style bound certifies the observed
+	// ranking, typically well before the fixed 10,000-trial budget.
+	// Trials then caps the total.
+	Adaptive bool
 }
 
-// ranker builds the rank.Ranker for a method.
-func (o Options) ranker(m Method) (rank.Ranker, error) {
+// ranker builds the rank.Ranker for a method, running on plan when the
+// method has a compiled kernel.
+func (o Options) ranker(m Method, plan *kernel.Plan) (rank.Ranker, error) {
 	switch m {
 	case Reliability:
 		if o.Exact {
 			return rank.Exact{}, nil
 		}
-		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.Workers}, nil
+		if o.Adaptive {
+			return &rank.AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}, nil
+		}
+		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.Workers, Plan: plan}, nil
 	case Propagation:
-		return &rank.Propagation{}, nil
+		return &rank.Propagation{Plan: plan}, nil
 	case Diffusion:
-		return &rank.Diffusion{}, nil
+		return &rank.Diffusion{Plan: plan}, nil
 	case InEdge:
 		return rank.InEdge{}, nil
 	case PathCount:
@@ -139,8 +151,32 @@ func (g *Graph) Explore(keyword, inputKind string, outputKinds ...string) (*Answ
 }
 
 // Answers is the answer set of an exploratory query, ready for ranking.
+// The first ranking call compiles the query graph into a CSR kernel
+// plan (internal/kernel) and memoizes it, so every later Rank/RankAll
+// call on the same Answers skips compilation and runs the simulation
+// kernels directly.
 type Answers struct {
-	qg *graph.QueryGraph
+	qg   *graph.QueryGraph
+	plan atomic.Pointer[answersPlan]
+}
+
+// answersPlan pins a compiled plan to the graph object and version it
+// was compiled from, so replacing or mutating the graph invalidates it.
+type answersPlan struct {
+	qg      *graph.QueryGraph
+	version uint64
+	plan    *kernel.Plan
+}
+
+// planFor returns the memoized compiled plan, compiling on first use or
+// after the underlying graph changed.
+func (a *Answers) planFor() *kernel.Plan {
+	if e := a.plan.Load(); e != nil && e.qg == a.qg && e.version == a.qg.Version() {
+		return e.plan
+	}
+	plan := kernel.Compile(a.qg)
+	a.plan.Store(&answersPlan{qg: a.qg, version: a.qg.Version(), plan: plan})
+	return plan
 }
 
 // Len returns the number of answers.
@@ -184,10 +220,27 @@ type ScoredAnswer struct {
 	RankLo, RankHi int
 }
 
+// usesPlan reports whether method m executes on a compiled kernel plan
+// under these options (mirrors rank.AllOptions.UsesPlan).
+func (o Options) usesPlan(m Method) bool {
+	switch m {
+	case Reliability:
+		return !o.Exact && !o.Reduce
+	case Propagation, Diffusion:
+		return true
+	default:
+		return false
+	}
+}
+
 // Rank scores every answer with the chosen method and returns them in
 // descending score order (ties in input order).
 func (a *Answers) Rank(m Method, o Options) ([]ScoredAnswer, error) {
-	r, err := o.ranker(m)
+	var plan *kernel.Plan
+	if o.usesPlan(m) {
+		plan = a.planFor()
+	}
+	r, err := o.ranker(m, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -209,14 +262,26 @@ func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnsw
 	for i, m := range methods {
 		names[i] = string(m)
 	}
-	results, err := rank.RankAll(a.qg, rank.AllOptions{
+	all := rank.AllOptions{
 		Trials:    o.Trials,
 		Seed:      o.Seed,
 		Reduce:    o.Reduce,
 		Exact:     o.Exact,
 		MCWorkers: o.Workers,
+		Adaptive:  o.Adaptive,
 		Methods:   names,
-	})
+	}
+	requested := names
+	if len(requested) == 0 {
+		requested = rank.MethodNames
+	}
+	for _, name := range requested {
+		if all.UsesPlan(name) {
+			all.Plan = a.planFor() // memoized across calls on this Answers
+			break
+		}
+	}
+	results, err := rank.RankAll(a.qg, all)
 	if err != nil {
 		return nil, err
 	}
@@ -409,6 +474,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 				Reduce:    r.Options.Reduce,
 				Exact:     r.Options.Exact,
 				MCWorkers: r.Options.Workers,
+				Adaptive:  r.Options.Adaptive,
 			},
 		}
 	}
@@ -435,6 +501,13 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 // first batch.
 func (s *System) CacheStats() engine.CacheStats {
 	return s.engineHandle().CacheStats()
+}
+
+// PlanStats reports the batch engine's compiled-plan cache counters: a
+// hit means a query skipped CSR plan compilation and went straight to
+// the simulation kernels.
+func (s *System) PlanStats() engine.PlanCacheStats {
+	return s.engineHandle().PlanStats()
 }
 
 // Close releases the batch engine's worker pool. The System remains

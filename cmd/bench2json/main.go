@@ -1,0 +1,93 @@
+// Command bench2json converts `go test -bench` output into the
+// BENCH_rank.json artifact format CI uploads per run, so the perf
+// trajectory of the ranking kernels can be tracked across PRs:
+//
+//	go test -bench . -benchmem -run '^$' ./internal/rank ./internal/kernel | \
+//	    go run ./cmd/bench2json -label after > BENCH_rank.json
+//
+// Repeated runs of the same benchmark (-count N) are averaged. Output
+// maps benchmark name to ns/op, B/op, allocs/op and the number of
+// samples averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkTraversalMC1000-8   302   3890470 ns/op   637 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// Result is the aggregated measurement of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+func main() {
+	label := flag.String("label", "", "optional label recorded in the output (e.g. a commit or \"before\"/\"after\")")
+	flag.Parse()
+
+	acc := map[string]*Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytes, allocs float64
+		if m[4] != "" {
+			bytes, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseFloat(m[5], 64)
+		}
+		r := acc[m[1]]
+		if r == nil {
+			r = &Result{}
+			acc[m[1]] = r
+		}
+		r.NsPerOp += ns
+		r.BytesPerOp += bytes
+		r.AllocsPerOp += allocs
+		r.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(acc) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	for _, r := range acc {
+		n := float64(r.Samples)
+		r.NsPerOp /= n
+		r.BytesPerOp /= n
+		r.AllocsPerOp /= n
+	}
+
+	// encoding/json emits map keys sorted, so the output is stable.
+	out := map[string]any{"benchmarks": acc}
+	if *label != "" {
+		out["label"] = *label
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

@@ -14,8 +14,15 @@
 //	POST /rank    {"graph":<query-graph JSON>,"methods":[...],"trials":...}
 //	              Ranks a caller-supplied serialized query graph (the
 //	              format written by biorank -json / Answers.MarshalJSON).
-//	GET  /stats   Engine cache counters and server configuration.
+//	GET  /stats   Engine result- and plan-cache counters and server
+//	              configuration.
 //	GET  /healthz Liveness probe.
+//
+// With -pprof ADDR the server additionally exposes net/http/pprof
+// profiling endpoints (/debug/pprof/...) on a separate listener, kept
+// off the serving port so profiling is never accidentally public:
+//
+//	biorankd -addr :8080 -pprof localhost:6060
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -34,9 +42,10 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		world = flag.String("world", "demo", "world to serve: demo|hypothetical|full")
-		seed  = flag.Uint64("seed", 1, "world seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		world     = flag.String("world", "demo", "world to serve: demo|hypothetical|full")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -56,6 +65,20 @@ func main() {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+
+	if *pprofAddr != "" {
+		go func() {
+			pmux := http.NewServeMux()
+			pmux.HandleFunc("/debug/pprof/", pprof.Index)
+			pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("biorankd: pprof on %s/debug/pprof/", *pprofAddr)
+			ps := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+			log.Printf("biorankd: pprof server exited: %v", ps.ListenAndServe())
+		}()
+	}
 
 	log.Printf("biorankd: serving %s world on %s", *world, *addr)
 	hs := &http.Server{
@@ -87,17 +110,18 @@ type server struct {
 
 // queryRequest is the wire form of one ranking request.
 type queryRequest struct {
-	Protein string   `json:"protein"`
-	Methods []string `json:"methods,omitempty"`
-	Trials  int      `json:"trials,omitempty"`
-	Seed    uint64   `json:"seed,omitempty"`
-	Reduce  bool     `json:"reduce,omitempty"`
-	Exact   bool     `json:"exact,omitempty"`
-	Workers int      `json:"workers,omitempty"`
+	Protein  string   `json:"protein"`
+	Methods  []string `json:"methods,omitempty"`
+	Trials   int      `json:"trials,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	Reduce   bool     `json:"reduce,omitempty"`
+	Exact    bool     `json:"exact,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+	Adaptive bool     `json:"adaptive,omitempty"`
 }
 
 func (q queryRequest) options() biorank.Options {
-	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers}
+	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive}
 }
 
 func (q queryRequest) methods() []biorank.Method {
@@ -185,7 +209,7 @@ func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
 		if m := q.Get("methods"); m != "" {
 			req.Methods = strings.Split(m, ",")
 		}
-		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact} {
+		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact, "adaptive": &req.Adaptive} {
 			if v := q.Get(key); v != "" {
 				b, err := strconv.ParseBool(v)
 				if err != nil {
@@ -231,13 +255,14 @@ func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
 // rankRequest is the wire form of /rank: a serialized query graph plus
 // evaluation options.
 type rankRequest struct {
-	Graph   json.RawMessage `json:"graph"`
-	Methods []string        `json:"methods,omitempty"`
-	Trials  int             `json:"trials,omitempty"`
-	Seed    uint64          `json:"seed,omitempty"`
-	Reduce  bool            `json:"reduce,omitempty"`
-	Exact   bool            `json:"exact,omitempty"`
-	Workers int             `json:"workers,omitempty"`
+	Graph    json.RawMessage `json:"graph"`
+	Methods  []string        `json:"methods,omitempty"`
+	Trials   int             `json:"trials,omitempty"`
+	Seed     uint64          `json:"seed,omitempty"`
+	Reduce   bool            `json:"reduce,omitempty"`
+	Exact    bool            `json:"exact,omitempty"`
+	Workers  int             `json:"workers,omitempty"`
+	Adaptive bool            `json:"adaptive,omitempty"`
 }
 
 // handleRank ranks a caller-supplied query graph under the requested
@@ -261,7 +286,7 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad graph: %v", err))
 		return
 	}
-	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers}
+	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers, Adaptive: req.Adaptive}
 	methods := make([]biorank.Method, len(req.Methods))
 	for i, m := range req.Methods {
 		methods[i] = biorank.Method(m)
@@ -284,7 +309,8 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats reports engine cache counters and server configuration.
+// handleStats reports engine result- and plan-cache counters and server
+// configuration.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"world":    s.world,
@@ -292,6 +318,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"proteins": len(s.sys.Proteins()),
 		"sources":  s.sys.Sources(),
 		"cache":    s.sys.CacheStats(),
+		"plans":    s.sys.PlanStats(),
 	})
 }
 

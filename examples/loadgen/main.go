@@ -1,9 +1,13 @@
 // Loadgen drives the batch ranking engine the way a busy deployment
 // would: a closed-loop set of clients firing batches of multi-method
-// queries at one shared System, measuring throughput and the effect of
-// the result cache.
+// queries at one shared System, measuring throughput, per-batch latency
+// percentiles (p50/p95/p99) and the effect of the result and plan
+// caches. By default it runs the same workload twice — once with the
+// fixed Theorem 3.1 trial budget and once with adaptive early-stopping
+// Monte Carlo — so the two modes can be compared side by side.
 //
 //	go run ./examples/loadgen -clients 8 -rounds 5 -trials 500
+//	go run ./examples/loadgen -mode adaptive
 //
 // With -addr it instead targets a running biorankd over HTTP:
 //
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,9 +35,10 @@ func main() {
 	var (
 		clients = flag.Int("clients", 8, "concurrent client goroutines")
 		rounds  = flag.Int("rounds", 5, "batches each client issues")
-		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query")
+		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query (cap in adaptive mode)")
 		seed    = flag.Uint64("seed", 1, "world and simulation seed")
 		addr    = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
+		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|both")
 	)
 	flag.Parse()
 
@@ -40,12 +47,40 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sys.Close()
-	proteins := sys.Proteins()
-	opts := biorank.Options{Trials: *trials, Seed: *seed, Reduce: true}
 
+	var modes []string
+	switch *mode {
+	case "fixed":
+		modes = []string{"fixed"}
+	case "adaptive":
+		modes = []string{"adaptive"}
+	case "both":
+		modes = []string{"fixed", "adaptive"}
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|both)\n", *mode)
+		os.Exit(2)
+	}
+
+	for _, m := range modes {
+		opts := biorank.Options{Trials: *trials, Seed: *seed, Reduce: true, Adaptive: m == "adaptive"}
+		if m == "adaptive" {
+			// The fixed-mode trial count is the adaptive cap; give the
+			// stopping rule room above the default batch size.
+			opts.Trials = 10 * *trials
+		}
+		run(sys, *clients, *rounds, *addr, m, opts)
+	}
+}
+
+// run fires the closed-loop workload once and reports its metrics.
+func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biorank.Options) {
+	proteins := sys.Proteins()
 	var queries, methodsScored, errs atomic.Int64
-	run := func(client int) {
-		for round := 0; round < *rounds; round++ {
+	latencies := make([][]time.Duration, clients)
+
+	work := func(client int) {
+		lats := make([]time.Duration, 0, rounds)
+		for round := 0; round < rounds; round++ {
 			// Each client walks the protein list from its own offset so
 			// early rounds mix cache misses and hits realistically.
 			batch := make([]biorank.BatchRequest, 0, 4)
@@ -53,46 +88,76 @@ func main() {
 				p := proteins[(client*4+round+k)%len(proteins)]
 				batch = append(batch, biorank.BatchRequest{Protein: p, Options: opts})
 			}
-			if *addr != "" {
-				n, m, e := httpBatch(*addr, batch, opts)
+			start := time.Now()
+			if addr != "" {
+				n, m, e := httpBatch(addr, batch, opts)
 				queries.Add(n)
 				methodsScored.Add(m)
 				errs.Add(e)
-				continue
-			}
-			for _, res := range sys.QueryBatch(batch) {
-				if res.Err != nil {
-					errs.Add(1)
-					continue
+			} else {
+				for _, res := range sys.QueryBatch(batch) {
+					if res.Err != nil {
+						errs.Add(1)
+						continue
+					}
+					queries.Add(1)
+					methodsScored.Add(int64(len(res.Rankings)))
 				}
-				queries.Add(1)
-				methodsScored.Add(int64(len(res.Rankings)))
 			}
+			lats = append(lats, time.Since(start))
 		}
+		latencies[client] = lats
 	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			run(c)
+			work(c)
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("loadgen: %d clients x %d rounds against %s\n",
-		*clients, *rounds, target(*addr))
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	fmt.Printf("loadgen[%s]: %d clients x %d rounds against %s\n",
+		mode, clients, rounds, target(addr))
 	fmt.Printf("  %d queries ranked (%d method evaluations, %d errors) in %v\n",
 		queries.Load(), methodsScored.Load(), errs.Load(), elapsed.Round(time.Millisecond))
-	fmt.Printf("  %.1f queries/sec, %.1f method evaluations/sec\n",
+	fmt.Printf("  throughput: %.1f queries/sec, %.1f method evaluations/sec\n",
 		float64(queries.Load())/elapsed.Seconds(),
 		float64(methodsScored.Load())/elapsed.Seconds())
-	if *addr == "" {
-		fmt.Printf("  cache: %+v\n", sys.CacheStats())
+	fmt.Printf("  batch latency: p50=%v p95=%v p99=%v max=%v (n=%d)\n",
+		percentile(all, 0.50).Round(time.Microsecond),
+		percentile(all, 0.95).Round(time.Microsecond),
+		percentile(all, 0.99).Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond), len(all))
+	if addr == "" {
+		fmt.Printf("  result cache: %+v\n", sys.CacheStats())
+		fmt.Printf("  plan cache:   %+v\n", sys.PlanStats())
 	}
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 func target(addr string) string {
@@ -106,14 +171,15 @@ func target(addr string) string {
 // returns (queries ok, method evaluations, errors).
 func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) (int64, int64, int64) {
 	type wireReq struct {
-		Protein string `json:"protein"`
-		Trials  int    `json:"trials"`
-		Seed    uint64 `json:"seed"`
-		Reduce  bool   `json:"reduce"`
+		Protein  string `json:"protein"`
+		Trials   int    `json:"trials"`
+		Seed     uint64 `json:"seed"`
+		Reduce   bool   `json:"reduce"`
+		Adaptive bool   `json:"adaptive"`
 	}
 	reqs := make([]wireReq, len(batch))
 	for i, b := range batch {
-		reqs[i] = wireReq{Protein: b.Protein, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce}
+		reqs[i] = wireReq{Protein: b.Protein, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive}
 	}
 	body, err := json.Marshal(map[string]any{"requests": reqs})
 	if err != nil {

@@ -29,6 +29,7 @@ type optionsKey struct {
 	reduce    bool
 	exact     bool
 	mcWorkers int
+	adaptive  bool
 }
 
 // CacheStats reports the cache's cumulative effectiveness counters.

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 	"biorank/internal/rank"
 )
 
@@ -62,10 +63,15 @@ type Options struct {
 	// MCWorkers shards Monte Carlo trials over goroutines; scores are
 	// deterministic for a fixed (Seed, MCWorkers) pair.
 	MCWorkers int
+	// Adaptive replaces the fixed-trial reliability simulation with the
+	// early-stopping adaptive estimator: batches run until a Theorem
+	// 3.1-style bound certifies the observed ranking. Trials then caps
+	// the total.
+	Adaptive bool
 }
 
 func (o Options) key() optionsKey {
-	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers}
+	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive}
 }
 
 // Request is one unit of work in a batch: rank the answers of a query
@@ -107,6 +113,9 @@ type Config struct {
 	// CacheSize is the LRU capacity in (query, method, options) entries;
 	// 0 means DefaultCacheSize, negative disables caching.
 	CacheSize int
+	// PlanCacheSize is the compiled-plan LRU capacity in query graphs;
+	// 0 means DefaultPlanCacheSize, negative disables plan caching.
+	PlanCacheSize int
 }
 
 // DefaultCacheSize is the default LRU capacity.
@@ -120,6 +129,7 @@ var ErrClosed = fmt.Errorf("engine: closed")
 type Engine struct {
 	resolver Resolver
 	cache    *resultCache
+	plans    *planCache
 	jobs     chan job
 	wg       sync.WaitGroup
 	workers  int
@@ -148,9 +158,14 @@ func New(resolver Resolver, cfg Config) *Engine {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
+	planSize := cfg.PlanCacheSize
+	if planSize == 0 {
+		planSize = DefaultPlanCacheSize
+	}
 	e := &Engine{
 		resolver: resolver,
 		cache:    newResultCache(size), // nil when size < 0
+		plans:    newPlanCache(planSize),
 		jobs:     make(chan job),
 		workers:  workers,
 	}
@@ -181,6 +196,9 @@ func (e *Engine) Close() {
 
 // CacheStats snapshots the result cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// PlanStats snapshots the compiled-plan cache counters.
+func (e *Engine) PlanStats() PlanCacheStats { return e.plans.Stats() }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
@@ -259,14 +277,17 @@ func (e *Engine) execute(req *Request, resp *Response) {
 	}
 
 	if len(misses) > 0 {
-		fresh, err := rank.RankAll(qg, rank.AllOptions{
+		all := rank.AllOptions{
 			Trials:    req.Options.Trials,
 			Seed:      req.Options.Seed,
 			Reduce:    req.Options.Reduce,
 			Exact:     req.Options.Exact,
 			MCWorkers: req.Options.MCWorkers,
+			Adaptive:  req.Options.Adaptive,
 			Methods:   misses,
-		})
+		}
+		all.Plan = e.planFor(qg, fp, version, all)
+		fresh, err := rank.RankAll(qg, all)
 		if err != nil {
 			resp.Err = err
 			return
@@ -279,4 +300,28 @@ func (e *Engine) execute(req *Request, resp *Response) {
 	}
 	resp.Results = results
 	resp.Cached = cached
+}
+
+// planFor returns a compiled kernel plan for qg when one of the missed
+// methods runs on a plan, consulting the plan LRU first. The key pairs
+// the query graph's content fingerprint with the entity graph's
+// version, so mutations strand stale plans exactly like stale results.
+func (e *Engine) planFor(qg *graph.QueryGraph, fp, version uint64, o rank.AllOptions) *kernel.Plan {
+	needed := false
+	for _, m := range o.Methods {
+		if o.UsesPlan(m) {
+			needed = true
+			break
+		}
+	}
+	if !needed {
+		return nil
+	}
+	key := planKey{fp: fp, version: version}
+	if plan := e.plans.get(key); plan != nil && plan.Matches(qg) {
+		return plan
+	}
+	plan := kernel.Compile(qg)
+	e.plans.put(key, plan)
+	return plan
 }

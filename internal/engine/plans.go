@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"biorank/internal/kernel"
+)
+
+// planKey identifies one compiled kernel plan. The fingerprint hashes
+// the full pruned query graph (structure, probabilities, source, answer
+// set) and the version is the underlying entity graph's mutation
+// counter, so a stale plan can never be looked up after a mutation.
+// Keying by content rather than graph identity is what makes the cache
+// effective: the resolver builds a fresh QueryGraph object per query,
+// but repeated queries for the same source produce fingerprint-equal
+// graphs and reuse one plan.
+type planKey struct {
+	fp      uint64
+	version uint64
+}
+
+// PlanCacheStats reports the plan cache's cumulative counters. A plan
+// hit means a ranking request skipped CSR compilation entirely.
+type PlanCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// DefaultPlanCacheSize is the default plan-cache capacity. Plans are a
+// few hundred bytes per graph element, far smaller than the graphs they
+// are compiled from.
+const DefaultPlanCacheSize = 256
+
+// planCache is a mutex-guarded LRU mapping planKey to compiled plans.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[planKey]*list.Element
+	stats PlanCacheStats
+}
+
+type planEntry struct {
+	key  planKey
+	plan *kernel.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil // plan caching disabled
+	}
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[planKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached plan for key, or nil.
+func (c *planCache) get(key planKey) *kernel.Plan {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).plan
+}
+
+// put stores a plan under key, evicting the least recently used entry
+// when over capacity.
+func (c *planCache) put(key planKey, plan *kernel.Plan) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *planCache) Stats() PlanCacheStats {
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

@@ -1,0 +1,101 @@
+package kernel
+
+import (
+	"testing"
+
+	"biorank/internal/graph"
+	"biorank/internal/prob"
+)
+
+// benchPlanGraph mirrors rank's benchGraph: a layered DAG shaped like a
+// scenario query graph (source -> protein -> 150 hits -> genes -> 50
+// candidate functions), compiled once.
+func benchPlanGraph() *graph.QueryGraph {
+	rng := prob.NewRNG(99)
+	width, answers := 150, 50
+	g := graph.New(2+2*width+answers, 4*width)
+	s := g.AddNode("Q", "s", 1)
+	p := g.AddNode("P", "p", 1)
+	g.AddEdge(s, p, "m", 1)
+	var funcs []graph.NodeID
+	for i := 0; i < answers; i++ {
+		funcs = append(funcs, g.AddNode("F", "f", 0.2+0.8*rng.Float64()))
+	}
+	for i := 0; i < width; i++ {
+		h := g.AddNode("H", "h", 1)
+		ge := g.AddNode("G", "g", 0.3+0.7*rng.Float64())
+		g.AddEdge(p, h, "b1", 0.1+0.9*rng.Float64())
+		g.AddEdge(h, ge, "b2", 1)
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			g.AddEdge(ge, funcs[rng.Intn(len(funcs))], "a", 1)
+		}
+	}
+	qg, err := graph.NewQueryGraph(g, s, funcs)
+	if err != nil {
+		panic(err)
+	}
+	return qg.Prune()
+}
+
+// BenchmarkCompiledTraversal1000 is the zero-alloc steady state: plan
+// compiled once, scores and RNG reused, 1000 trials per op.
+func BenchmarkCompiledTraversal1000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.Reliability(scores, 1000, rng, nil)
+	}
+}
+
+// BenchmarkCompiledNaive1000 is the compiled all-coins baseline.
+func BenchmarkCompiledNaive1000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.Naive(scores, 1000, rng, nil)
+	}
+}
+
+// BenchmarkCompiledPropagation exercises the compiled CSC loop.
+func BenchmarkCompiledPropagation(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Propagation(scores, plan.LongestFromSource(), 1e-12, true)
+	}
+}
+
+// BenchmarkCompiledDiffusion exercises the compiled analytic diffusion.
+func BenchmarkCompiledDiffusion(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Diffusion(scores, plan.LongestFromSource(), 1e-12, true)
+	}
+}
+
+// BenchmarkCompile measures plan compilation itself, the one-time cost a
+// cached plan amortizes away.
+func BenchmarkCompile(b *testing.B) {
+	qg := benchPlanGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Compile(qg).NumNodes() == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package kernel
+
+import "math"
+
+// This file holds the compiled iterative semantics: relevance
+// propagation (Algorithm 3.2) and diffusion (Algorithm 3.3). Both walk
+// the CSC in-adjacency arrays in the reference implementations' edge
+// order, so propagation scores are bit-identical to the reference;
+// diffusion can differ in the last ulp when parents tie on relevance
+// (the analytic inner solve sorts them, and equal keys may accumulate
+// in a different order).
+
+// Propagation runs iters synchronous rounds of Algorithm 3.2 and writes
+// per-answer scores into scores (length NumAnswers). When earlyExit is
+// set the loop stops once the largest per-round change drops below tol
+// (the automatic mode for cyclic graphs). Zero-alloc: score vectors come
+// from the plan's scratch pool.
+func (p *Plan) Propagation(scores []float64, iters int, tol float64, earlyExit bool) {
+	sc := p.getScratch()
+	r, next := sc.scoreA, sc.scoreB
+	for i := range r {
+		r[i] = 0
+	}
+	src := int(p.source)
+	r[src] = 1
+	colStart, inEdges, nodeP := p.colStart, p.inEdges, p.nodeP
+	for t := 0; t < iters; t++ {
+		delta := 0.0
+		for y := 0; y < p.n; y++ {
+			if y == src {
+				next[y] = 1
+				continue
+			}
+			miss := 1.0
+			for i, end := colStart[y], colStart[y+1]; i < end; i++ {
+				e := inEdges[i]
+				miss *= 1 - r[e.from]*e.q
+			}
+			v := (1 - miss) * nodeP[y]
+			if d := math.Abs(v - r[y]); d > delta {
+				delta = d
+			}
+			next[y] = v
+		}
+		r, next = next, r
+		if earlyExit && delta < tol {
+			break
+		}
+	}
+	for i, a := range p.answers {
+		scores[i] = r[a]
+	}
+	p.putScratch(sc)
+}
+
+// Diffusion runs iters outer rounds of Algorithm 3.3 with the analytic
+// inner solve and writes per-answer scores into scores (length
+// NumAnswers). earlyExit/tol behave as in Propagation.
+func (p *Plan) Diffusion(scores []float64, iters int, tol float64, earlyExit bool) {
+	sc := p.getScratch()
+	r, next := sc.scoreA, sc.scoreB
+	for i := range r {
+		r[i] = 0
+	}
+	src := int(p.source)
+	r[src] = 1
+	colStart, inEdges, nodeP := p.colStart, p.inEdges, p.nodeP
+	par := sc.par
+	for t := 0; t < iters; t++ {
+		delta := 0.0
+		for y := 0; y < p.n; y++ {
+			if y == src {
+				next[y] = 1
+				continue
+			}
+			par = par[:0]
+			for i, end := colStart[y], colStart[y+1]; i < end; i++ {
+				e := inEdges[i]
+				if rx := r[e.from]; e.q > 0 && rx > 0 {
+					par = append(par, parent{r: rx, q: e.q})
+				}
+			}
+			var rbar float64
+			if len(par) > 0 {
+				rbar = solveInner(par)
+			}
+			v := rbar * nodeP[y]
+			if d := math.Abs(v - r[y]); d > delta {
+				delta = d
+			}
+			next[y] = v
+		}
+		r, next = next, r
+		if earlyExit && delta < tol {
+			break
+		}
+	}
+	sc.par = par // keep grown capacity
+	for i, a := range p.answers {
+		scores[i] = r[a]
+	}
+	p.putScratch(sc)
+}
+
+// solveInner finds the unique v >= 0 with v = Σ_i max((r_i − v)·q_i, 0):
+// parents sorted by descending r make the active set a prefix, and the
+// prefix fixpoint candidate v = Σ q_i·r_i / (1 + Σ q_i) is valid once it
+// reaches the next parent's r. Insertion sort keeps the solve
+// allocation-free (parent lists are short — a node's in-degree).
+func solveInner(par []parent) float64 {
+	for i := 1; i < len(par); i++ {
+		for j := i; j > 0 && par[j].r > par[j-1].r; j-- {
+			par[j], par[j-1] = par[j-1], par[j]
+		}
+	}
+	var sumQR, sumQ, v float64
+	for k := 0; k < len(par); k++ {
+		sumQR += par[k].q * par[k].r
+		sumQ += par[k].q
+		v = sumQR / (1 + sumQ)
+		lower := 0.0
+		if k+1 < len(par) {
+			lower = par[k+1].r
+		}
+		if v >= lower {
+			return v
+		}
+	}
+	return v
+}

@@ -1,0 +1,48 @@
+package kernel
+
+import "biorank/internal/prob"
+
+// xrng is a register-resident copy of prob.RNG's xoshiro256** state.
+// The simulation kernels draw millions of uniforms per query; going
+// through prob.RNG costs a (non-inlinable) call plus four state stores
+// per draw, while this local stepper inlines and lets the compiler keep
+// the whole state in registers across the trial loop. The sequence is
+// bit-identical to prob.RNG.Float64 — TestXRNGMatchesProbRNG pins that —
+// and the advanced state is written back on release, so a caller's RNG
+// resumes exactly where the kernel stopped (adaptive batching depends on
+// this).
+type xrng struct{ s0, s1, s2, s3 uint64 }
+
+// borrowRNG captures rng's state into a local stepper.
+func borrowRNG(rng *prob.RNG) xrng {
+	s := rng.State()
+	return xrng{s[0], s[1], s[2], s[3]}
+}
+
+// release writes the advanced state back into rng.
+func (x *xrng) release(rng *prob.RNG) {
+	rng.SetState([4]uint64{x.s0, x.s1, x.s2, x.s3})
+}
+
+// next returns the next uniform float64 in [0,1), identical to
+// prob.RNG.Float64.
+func (x *xrng) next() float64 {
+	return float64(x.nextBits()) * 0x1.0p-53
+}
+
+// nextBits returns the 53-bit integer u with Float64 == u·2⁻⁵³. Coin
+// flips compare u against a precomputed integer threshold (see
+// coinBits), keeping the draw→branch critical path free of int→float
+// conversion and floating-point arithmetic.
+func (x *xrng) nextBits() uint64 {
+	r := x.s1 * 5
+	r = ((r << 7) | (r >> 57)) * 9
+	t := x.s1 << 17
+	x.s2 ^= x.s0
+	x.s3 ^= x.s1
+	x.s1 ^= x.s2
+	x.s0 ^= x.s3
+	x.s2 ^= t
+	x.s3 = (x.s3 << 45) | (x.s3 >> 19)
+	return r >> 11
+}

@@ -33,19 +33,54 @@ func NewRNG(seed uint64) *RNG {
 func (r *RNG) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		sm += splitMixGamma
+		r.s[i] = mix64(sm)
 	}
 	r.hasSpare = false
+}
+
+// splitMixGamma is the golden-ratio increment of the SplitMix64 state
+// sequence.
+const splitMixGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output function: a bijective avalanche mix of
+// the generator state (Steele, Lea, Flood 2014).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// StreamSeed derives the seed of the stream-th member of a family of
+// statistically independent generators rooted at seed: it runs the
+// SplitMix64 sequence from state seed and returns its (stream+1)-th
+// output. Because the output function is a bijection of the advancing
+// state, distinct streams of the same root seed can never coincide, and
+// the avalanche mix decorrelates the derived seeds even for related
+// (seed, stream) pairs — unlike XOR-with-a-multiple derivations, whose
+// un-mixed outputs let structured (seed, stream) pairs collide.
+func StreamSeed(seed, stream uint64) uint64 {
+	return mix64(seed + (stream+1)*splitMixGamma)
 }
 
 // Split returns a new generator whose stream is statistically independent
 // of r's. It advances r.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+// State exposes the raw xoshiro256** state so compiled hot loops
+// (internal/kernel) can step the generator in registers instead of
+// paying a call and four memory writes per draw. Pair with SetState to
+// resume the stream exactly where the loop left it.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State (or advanced externally by
+// the documented xoshiro256** step). Like Seed it invalidates the cached
+// Gaussian variate.
+func (r *RNG) SetState(s [4]uint64) {
+	r.s = s
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -164,6 +164,58 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestStreamSeedDistinctAcrossStreams(t *testing.T) {
+	// For a fixed root seed, every stream index must yield a distinct
+	// derived seed (the SplitMix64 output function is a bijection of the
+	// advancing state, so collisions within a family are impossible).
+	for _, seed := range []uint64{0, 1, 42, 0x9e3779b97f4a7c15, math.MaxUint64} {
+		seen := make(map[uint64]uint64)
+		for w := uint64(0); w < 1024; w++ {
+			d := StreamSeed(seed, w)
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("seed %d: streams %d and %d collide on %x", seed, prev, w, d)
+			}
+			seen[d] = w
+		}
+	}
+}
+
+func TestStreamSeedNoStructuredCrossSeedCollisions(t *testing.T) {
+	// The old derivation seed ^ (gamma*(w+1)) let structured (seed,
+	// worker) pairs collide: seed' = seed ^ gamma*(w+1) ^ gamma*(w'+1)
+	// reproduces stream w' of seed' as stream w of seed. The mixed
+	// derivation must not exhibit that algebraic identity.
+	const gamma = 0x9e3779b97f4a7c15
+	seed := uint64(12345)
+	for w := uint64(0); w < 8; w++ {
+		for w2 := uint64(0); w2 < 8; w2++ {
+			if w == w2 {
+				continue
+			}
+			crafted := seed ^ gamma*(w+1) ^ gamma*(w2+1)
+			if StreamSeed(seed, w) == StreamSeed(crafted, w2) {
+				t.Fatalf("crafted (seed,stream) pair (%d,%d)/(%d,%d) collides", seed, w, crafted, w2)
+			}
+		}
+	}
+}
+
+func TestStreamSeedStreamsDecorrelated(t *testing.T) {
+	// Generators seeded from adjacent streams must not produce
+	// overlapping output.
+	a := NewRNG(StreamSeed(7, 0))
+	b := NewRNG(StreamSeed(7, 1))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent streams produced %d identical outputs", same)
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	r := NewRNG(29)
 	s := r.Split()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 	"biorank/internal/prob"
 )
 
@@ -12,8 +13,16 @@ import (
 // each batch it inspects the gaps between adjacent answer scores and
 // stops once every gap is either below Eps (an effective tie the caller
 // does not need separated) or large enough that the bound certifies the
-// observed ordering at confidence 1−Delta. This is an extension beyond
-// the paper, which picks the trial count a priori from the same theorem.
+// observed ordering at confidence 1−Delta. With TopK set, only the
+// order of the top K answers (and the boundary separating them from the
+// rest) must stabilize — the tail may remain unresolved, which stops
+// much earlier on graphs with many near-tied low scores. This is an
+// extension beyond the paper, which picks the trial count a priori from
+// the same theorem.
+//
+// Simulation batches run on the compiled traversal kernel
+// (internal/kernel), so steady-state batches allocate nothing beyond
+// the per-run accumulator.
 type AdaptiveMonteCarlo struct {
 	// Eps is the score separation worth distinguishing (default 0.02,
 	// the paper's choice).
@@ -25,14 +34,22 @@ type AdaptiveMonteCarlo struct {
 	// MaxTrials caps the total (default 10·DefaultTrials); near-ties can
 	// otherwise demand unbounded simulation.
 	MaxTrials int
+	// TopK restricts the stopping criterion to the order of the K
+	// highest-scoring answers; 0 requires the full ranking to stabilize.
+	TopK int
 	// Seed makes runs reproducible.
 	Seed uint64
 	// Reduce applies the Section 3.1.2 reductions first.
 	Reduce bool
+	// Plan optionally supplies a pre-compiled kernel plan for the query
+	// graph (ignored under Reduce).
+	Plan *kernel.Plan
+
+	memo planMemo
 }
 
 // Name implements Ranker.
-func (*AdaptiveMonteCarlo) Name() string { return "reliability-adaptive" }
+func (*AdaptiveMonteCarlo) Name() string { return "reliability" }
 
 func (a *AdaptiveMonteCarlo) params() (eps, delta float64, batch, maxTrials int) {
 	eps, delta, batch, maxTrials = a.Eps, a.Delta, a.Batch, a.MaxTrials
@@ -53,70 +70,87 @@ func (a *AdaptiveMonteCarlo) params() (eps, delta float64, batch, maxTrials int)
 
 // Rank implements Ranker.
 func (a *AdaptiveMonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
-	scores, _, err := a.RankWithTrials(qg)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Method: a.Name(), Scores: scores}, nil
+	res, _, err := a.RankWithStats(qg)
+	return res, err
 }
 
 // RankWithTrials ranks and additionally reports how many trials the
 // stopping rule consumed.
 func (a *AdaptiveMonteCarlo) RankWithTrials(qg *graph.QueryGraph) ([]float64, int, error) {
-	if err := validate(qg); err != nil {
+	res, ops, err := a.RankWithStats(qg)
+	if err != nil {
 		return nil, 0, err
 	}
-	if a.Reduce {
-		red, _, mapping := ReduceAll(qg)
-		inner, trials, err := a.simulate(red)
-		if err != nil {
-			return nil, 0, err
-		}
-		scores := make([]float64, len(qg.Answers))
-		for i, j := range mapping {
-			if j >= 0 {
-				scores[i] = inner[j]
-			}
-		}
-		return scores, trials, nil
-	}
-	return a.simulate(qg)
+	return res.Scores, int(ops.Trials), nil
 }
 
-func (a *AdaptiveMonteCarlo) simulate(qg *graph.QueryGraph) ([]float64, int, error) {
+// RankWithStats ranks and reports operation counters; OpStats.Trials is
+// the number of trials the stopping rule actually ran (compare
+// DefaultTrials for the fixed a-priori budget).
+func (a *AdaptiveMonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStats, error) {
+	if err := validate(qg); err != nil {
+		return Result{}, OpStats{}, err
+	}
+	var ops OpStats
+	res := Result{Method: a.Name()}
+	if a.Reduce {
+		red, _, mapping := ReduceAll(qg)
+		inner := a.simulate(kernel.Compile(red), &ops)
+		res.Scores = make([]float64, len(qg.Answers))
+		for i, j := range mapping {
+			if j >= 0 {
+				res.Scores[i] = inner[j]
+			}
+		}
+		return res, ops, nil
+	}
+	res.Scores = a.simulate(a.memo.For(qg, a.Plan), &ops)
+	return res, ops, nil
+}
+
+// simulate runs kernel batches until the stopping rule certifies the
+// observed (top-K) order or MaxTrials is reached.
+func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64 {
 	eps, delta, batch, maxTrials := a.params()
 	rng := prob.NewRNG(a.Seed)
-	n := qg.NumNodes()
-	total := make([]int64, n)
+	total := make([]int64, plan.NumNodes())
+	sorted := make([]float64, plan.NumAnswers())
+	scores := make([]float64, plan.NumAnswers())
+	var so kernel.SimOps
 	trials := 0
 	for trials < maxTrials {
-		counts := traversalCounts(qg, batch, rng, nil)
-		for i := range total {
-			total[i] += counts[i]
+		b := batch
+		if trials+b > maxTrials {
+			b = maxTrials - trials // honor the cap exactly
 		}
-		trials += batch
-		if a.certified(qg, total, trials, eps, delta) {
+		plan.ReliabilityCounts(total, b, rng, &so)
+		trials += b
+		plan.ScoresFromCounts(total, trials, scores)
+		if a.certified(scores, sorted, trials, eps, delta) {
 			break
 		}
 	}
-	scores := make([]float64, len(qg.Answers))
-	for i, ans := range qg.Answers {
-		scores[i] = float64(total[ans]) / float64(trials)
+	if ops != nil {
+		ops.merge(opsFromSim(so))
 	}
-	return scores, trials, nil
+	plan.ScoresFromCounts(total, trials, scores)
+	return scores
 }
 
 // certified reports whether, at the current trial count, every adjacent
-// score gap is either an effective tie (< eps) or certified by Theorem
-// 3.1 for the achieved n.
-func (a *AdaptiveMonteCarlo) certified(qg *graph.QueryGraph, total []int64, trials int, eps, delta float64) bool {
-	scores := make([]float64, 0, len(qg.Answers))
-	for _, ans := range qg.Answers {
-		scores = append(scores, float64(total[ans])/float64(trials))
+// score gap under inspection is either an effective tie (< eps) or
+// certified by Theorem 3.1 for the achieved n. With TopK > 0 only the
+// first TopK gaps are inspected: the gaps internal to the top K plus
+// the boundary gap that separates rank K from rank K+1.
+func (a *AdaptiveMonteCarlo) certified(scores, sorted []float64, trials int, eps, delta float64) bool {
+	sorted = append(sorted[:0], scores...)
+	sortFloatsDesc(sorted)
+	last := len(sorted) - 1
+	if a.TopK > 0 && a.TopK < last {
+		last = a.TopK
 	}
-	sortFloatsDesc(scores)
-	for i := 1; i < len(scores); i++ {
-		gap := scores[i-1] - scores[i]
+	for i := 1; i <= last; i++ {
+		gap := sorted[i-1] - sorted[i]
 		if gap < eps {
 			continue // effective tie; not worth separating
 		}
@@ -144,5 +178,5 @@ func sortFloatsDesc(xs []float64) {
 // String describes the configuration, for logs.
 func (a *AdaptiveMonteCarlo) String() string {
 	eps, delta, batch, maxTrials := a.params()
-	return fmt.Sprintf("adaptive-mc(eps=%g delta=%g batch=%d max=%d)", eps, delta, batch, maxTrials)
+	return fmt.Sprintf("adaptive-mc(eps=%g delta=%g batch=%d max=%d topk=%d)", eps, delta, batch, maxTrials, a.TopK)
 }

@@ -104,6 +104,28 @@ func TestAdaptiveWithReduction(t *testing.T) {
 	}
 }
 
+func TestAdaptiveHonorsMaxTrialsExactly(t *testing.T) {
+	// A graph the stopping rule can never certify (gap just above eps,
+	// below any reachable bound) with a cap that is not a multiple of
+	// the batch size: the estimator must stop at exactly MaxTrials, not
+	// overshoot by a partial batch.
+	g := graph.New(3, 2)
+	s := g.AddNode("Q", "s", 1)
+	a1 := g.AddNode("A", "a1", 1)
+	a2 := g.AddNode("A", "a2", 1)
+	g.AddEdge(s, a1, "r", 0.60)
+	g.AddEdge(s, a2, "r", 0.55)
+	qg, _ := graph.NewQueryGraph(g, s, []graph.NodeID{a1, a2})
+	am := &AdaptiveMonteCarlo{Seed: 3, Eps: 0.02, Batch: 500, MaxTrials: 1600}
+	_, used, err := am.RankWithTrials(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used > 1600 {
+		t.Fatalf("ran %d trials, cap is 1600", used)
+	}
+}
+
 func TestAdaptiveRejectsNil(t *testing.T) {
 	if _, err := (&AdaptiveMonteCarlo{}).Rank(nil); err == nil {
 		t.Fatal("nil graph accepted")

@@ -59,6 +59,36 @@ func BenchmarkNaiveMC1000(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveMC measures the early-stopping estimator on the same
+// workload as BenchmarkTraversalMC1000; the stopping rule decides the
+// trial count (compare ns/op against the fixed-budget benchmarks).
+func BenchmarkAdaptiveMC(b *testing.B) {
+	qg := benchGraph(150, 50)
+	am := &AdaptiveMonteCarlo{Seed: 1, TopK: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := am.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankAllSharedPlan runs all five semantics over one shared
+// compiled plan, the engine's steady-state shape.
+func BenchmarkRankAllSharedPlan(b *testing.B) {
+	qg := benchGraph(150, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RankAll(qg, AllOptions{Trials: 1000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(MethodNames) {
+			b.Fatal("incomplete result")
+		}
+	}
+}
+
 func BenchmarkReduce(b *testing.B) {
 	qg := benchGraph(150, 50)
 	b.ResetTimer()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 )
 
 // Diffusion implements the diffusion semantics of Section 3.3 (Algorithm
@@ -20,6 +21,10 @@ import (
 // right-hand side is piecewise linear and strictly decreasing in r̄(y), so
 // the fixpoint is unique and can be found by sorting the contributing
 // parents). Tests verify both agree.
+//
+// The default (analytic) mode executes on the compiled CSC kernel with
+// an allocation-free inner solve; the Iterative mode runs the reference
+// implementation.
 type Diffusion struct {
 	// Iterations fixes the number of outer rounds; 0 means automatic
 	// (longest path length for DAGs, MaxIterations with early exit
@@ -33,6 +38,11 @@ type Diffusion struct {
 	Iterative bool
 	// Tol is the convergence tolerance; 0 means DefaultTol.
 	Tol float64
+	// Plan optionally supplies a pre-compiled kernel plan for the query
+	// graph (shared across the methods of a RankAll pass).
+	Plan *kernel.Plan
+
+	memo planMemo
 }
 
 // parentContrib is one incoming-edge contribution to the inner solve.
@@ -46,13 +56,39 @@ func (d *Diffusion) Rank(qg *graph.QueryGraph) (Result, error) {
 	if err := validate(qg); err != nil {
 		return Result{}, err
 	}
-	perNode := d.scores(qg)
-	return Result{Method: d.Name(), Scores: pickScores(qg, perNode)}, nil
+	if d.Iterative {
+		return Result{Method: d.Name(), Scores: pickScores(qg, d.referenceScores(qg))}, nil
+	}
+	plan := d.memo.For(qg, d.Plan)
+	iters, tol, auto := d.schedule(plan.IsDAG(), plan.LongestFromSource())
+	scores := make([]float64, plan.NumAnswers())
+	plan.Diffusion(scores, iters, tol, auto)
+	return Result{Method: d.Name(), Scores: scores}, nil
 }
 
-func (d *Diffusion) scores(qg *graph.QueryGraph) []float64 {
-	iters := d.Iterations
-	tol := d.Tol
+// schedule resolves the outer iteration count and tolerance exactly like
+// Propagation.schedule.
+func (d *Diffusion) schedule(isDAG bool, longest int) (iters int, tol float64, auto bool) {
+	iters, tol = d.Iterations, d.Tol
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	auto = iters <= 0
+	if auto {
+		if isDAG {
+			iters = longest
+		} else {
+			iters = MaxIterations
+		}
+	}
+	return iters, tol, auto
+}
+
+// referenceScores is the original implementation of Algorithm 3.3,
+// retained both as the Iterative execution path and as the oracle the
+// compiled kernel is verified against.
+func (d *Diffusion) referenceScores(qg *graph.QueryGraph) []float64 {
+	iters, tol := d.Iterations, d.Tol
 	if tol <= 0 {
 		tol = DefaultTol
 	}

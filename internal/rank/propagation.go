@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 )
 
 // Propagation implements the relevance-propagation semantics of Section
@@ -17,6 +18,10 @@ import (
 // because shared sub-paths are double counted, and on cyclic graphs it
 // unfolds cycles into infinitely many "independent" paths, boosting
 // scores.
+//
+// Rank executes on the compiled CSC kernel (internal/kernel), which
+// walks in-edges in the same order as the reference loop — scores are
+// bit-identical to referenceScores, which tests pin.
 type Propagation struct {
 	// Iterations fixes the number of synchronous update rounds. 0 means
 	// automatic: the longest path length from the source for DAGs (the
@@ -26,6 +31,11 @@ type Propagation struct {
 	// Tol is the convergence tolerance for cyclic graphs; 0 means
 	// DefaultTol.
 	Tol float64
+	// Plan optionally supplies a pre-compiled kernel plan for the query
+	// graph (shared across the methods of a RankAll pass).
+	Plan *kernel.Plan
+
+	memo planMemo
 }
 
 // MaxIterations caps the iteration count on cyclic graphs.
@@ -42,14 +52,37 @@ func (p *Propagation) Rank(qg *graph.QueryGraph) (Result, error) {
 	if err := validate(qg); err != nil {
 		return Result{}, err
 	}
-	perNode := p.scores(qg)
-	return Result{Method: p.Name(), Scores: pickScores(qg, perNode)}, nil
+	plan := p.memo.For(qg, p.Plan)
+	iters, tol, auto := p.schedule(plan.IsDAG(), plan.LongestFromSource())
+	scores := make([]float64, plan.NumAnswers())
+	plan.Propagation(scores, iters, tol, auto)
+	return Result{Method: p.Name(), Scores: scores}, nil
 }
 
-// scores runs Algorithm 3.2 and returns the per-node score vector.
-func (p *Propagation) scores(qg *graph.QueryGraph) []float64 {
-	iters := p.Iterations
-	tol := p.Tol
+// schedule resolves the iteration count and tolerance: explicit settings
+// win; otherwise DAGs run exactly to their fixpoint depth and cyclic
+// graphs iterate to convergence under MaxIterations.
+func (p *Propagation) schedule(isDAG bool, longest int) (iters int, tol float64, auto bool) {
+	iters, tol = p.Iterations, p.Tol
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	auto = iters <= 0
+	if auto {
+		if isDAG {
+			iters = longest
+		} else {
+			iters = MaxIterations
+		}
+	}
+	return iters, tol, auto
+}
+
+// referenceScores is the original slice-of-slices implementation of
+// Algorithm 3.2, retained as the oracle the compiled kernel is verified
+// against (TestKernelPropagationMatchesReference).
+func (p *Propagation) referenceScores(qg *graph.QueryGraph) []float64 {
+	iters, tol := p.Iterations, p.Tol
 	if tol <= 0 {
 		tol = DefaultTol
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 )
 
 // MethodNames lists the five ranking semantics in the paper's display
@@ -24,6 +25,11 @@ type AllOptions struct {
 	// MCWorkers shards the Monte Carlo trials over that many goroutines
 	// (deterministic for a fixed (Seed, MCWorkers); 0 or 1 is serial).
 	MCWorkers int
+	// Adaptive replaces the fixed-trial Monte Carlo with the
+	// early-stopping AdaptiveMonteCarlo: simulation proceeds in batches
+	// and stops as soon as Theorem 3.1 certifies the observed ranking.
+	// Trials then acts as the cap (0 means the adaptive default cap).
+	Adaptive bool
 	// Sequential disables the per-method parallelism, evaluating the five
 	// semantics one after another. Scores are identical either way; the
 	// flag exists for benchmarking and for callers that are already
@@ -32,6 +38,11 @@ type AllOptions struct {
 	// Methods restricts the pass to a subset of MethodNames; nil or empty
 	// means all five.
 	Methods []string
+	// Plan optionally supplies a pre-compiled kernel plan for the query
+	// graph. When nil, RankAll compiles one plan and shares it across
+	// every method of the pass; the engine passes plans from its cache
+	// here so repeat queries skip compilation entirely.
+	Plan *kernel.Plan
 }
 
 // ranker builds the Ranker for a method name under these options.
@@ -41,17 +52,35 @@ func (o AllOptions) ranker(name string) (Ranker, bool) {
 		if o.Exact {
 			return Exact{}, true
 		}
-		return &MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.MCWorkers}, true
+		if o.Adaptive {
+			return &AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: o.Plan}, true
+		}
+		return &MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.MCWorkers, Plan: o.Plan}, true
 	case "propagation":
-		return &Propagation{}, true
+		return &Propagation{Plan: o.Plan}, true
 	case "diffusion":
-		return &Diffusion{}, true
+		return &Diffusion{Plan: o.Plan}, true
 	case "inedge":
 		return InEdge{}, true
 	case "pathcount":
 		return PathCount{}, true
 	default:
 		return nil, false
+	}
+}
+
+// UsesPlan reports whether the named method executes on a compiled
+// kernel plan under these options. Reliability under Reduce simulates
+// the reduced graph with its own plan, so the shared full-graph plan
+// would go unused.
+func (o AllOptions) UsesPlan(name string) bool {
+	switch name {
+	case "reliability":
+		return !o.Exact && !o.Reduce
+	case "propagation", "diffusion":
+		return true
+	default:
+		return false
 	}
 }
 
@@ -69,6 +98,14 @@ func RankAll(qg *graph.QueryGraph, o AllOptions) (map[string]Result, error) {
 	methods := o.Methods
 	if len(methods) == 0 {
 		methods = MethodNames
+	}
+	if o.Plan == nil {
+		for _, name := range methods {
+			if o.UsesPlan(name) {
+				o.Plan = kernel.Compile(qg)
+				break
+			}
+		}
 	}
 	rankers := make([]Ranker, len(methods))
 	for i, name := range methods {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"biorank/internal/graph"
+	"biorank/internal/kernel"
 	"biorank/internal/prob"
 )
 
@@ -17,6 +18,13 @@ import (
 // probabilistic databases. Exact evaluation is #P-hard (Valiant 1979);
 // the paper proposes Monte Carlo simulation (Algorithm 3.1), graph
 // reductions, and a closed solution for reducible graphs.
+//
+// The simulations themselves run on internal/kernel's compiled CSR
+// plans: the query graph is flattened once into contiguous arrays and
+// the per-trial inner loops execute over those, drawing working memory
+// from pooled scratch arenas. The kernels preserve the historical RNG
+// stream and operation counters exactly, so scores and OpStats are
+// bit-identical to the pre-kernel implementation for a fixed seed.
 
 // MonteCarlo estimates reliability scores by simulation.
 //
@@ -39,10 +47,17 @@ type MonteCarlo struct {
 	Naive  bool   // use the naive all-coins estimator instead of Alg 3.1
 	Reduce bool   // apply Section 3.1.2 reductions before simulating
 	// Workers splits the trials over that many goroutines, each with an
-	// independent RNG stream derived from Seed. Results are
-	// deterministic for a fixed (Seed, Workers) pair; 0 or 1 runs
-	// serially. Only the traversal estimator parallelizes.
+	// independent RNG stream derived from Seed via prob.StreamSeed.
+	// Results are deterministic for a fixed (Seed, Workers) pair; 0 or 1
+	// runs serially. Only the traversal estimator parallelizes.
 	Workers int
+	// Plan, when non-nil and structurally matching the query graph,
+	// skips plan compilation — RankAll and the engine share one compiled
+	// plan across methods and requests this way. Ignored under Reduce
+	// (the reduced graph needs its own plan).
+	Plan *kernel.Plan
+
+	memo planMemo
 }
 
 // DefaultTrials is the trial count the paper derives from Theorem 3.1 for
@@ -53,6 +68,8 @@ const DefaultTrials = 10000
 // machine-independent units. Unlike wall-clock time, the counters are
 // fully determined by (graph, trials, seed, workers), which makes them
 // suitable for efficiency assertions in tests and for capacity planning.
+// For adaptive simulations Trials additionally reports how many trials
+// the stopping rule actually consumed.
 type OpStats struct {
 	Trials     int64 // simulation trials executed
 	NodeVisits int64 // nodes found present and expanded, summed over trials
@@ -72,74 +89,79 @@ func (s *OpStats) merge(o OpStats) {
 // Name implements Ranker.
 func (m *MonteCarlo) Name() string { return "reliability" }
 
-// Rank implements Ranker.
+// Rank implements Ranker. Unlike RankWithStats it skips operation
+// counting entirely, which lets the kernel run its counter-free loop.
 func (m *MonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
-	res, _, err := m.RankWithStats(qg)
-	return res, err
+	return m.rank(qg, nil)
 }
 
 // RankWithStats ranks like Rank and additionally reports the operation
 // counts of the underlying simulation (after reductions, if enabled).
 func (m *MonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStats, error) {
+	var ops OpStats
+	res, err := m.rank(qg, &ops)
+	return res, ops, err
+}
+
+func (m *MonteCarlo) rank(qg *graph.QueryGraph, ops *OpStats) (Result, error) {
 	if err := validate(qg); err != nil {
-		return Result{}, OpStats{}, err
+		return Result{}, err
 	}
 	trials := m.Trials
 	if trials <= 0 {
 		trials = DefaultTrials
 	}
-	var ops OpStats
 	res := Result{Method: m.Name()}
 	if m.Reduce {
 		red, _, mapping := ReduceAll(qg)
-		inner, err := m.simulate(red, trials, &ops)
-		if err != nil {
-			return Result{}, OpStats{}, err
-		}
+		inner := m.simulate(kernel.Compile(red), trials, ops)
 		res.Scores = make([]float64, len(qg.Answers))
 		for i, j := range mapping {
 			if j >= 0 {
 				res.Scores[i] = inner[j]
 			}
 		}
-		return res, ops, nil
+		return res, nil
 	}
-	scores, err := m.simulate(qg, trials, &ops)
-	if err != nil {
-		return Result{}, OpStats{}, err
-	}
-	res.Scores = scores
-	return res, ops, nil
+	res.Scores = m.simulate(m.memo.For(qg, m.Plan), trials, ops)
+	return res, nil
 }
 
-func (m *MonteCarlo) simulate(qg *graph.QueryGraph, trials int, ops *OpStats) ([]float64, error) {
-	if m.Naive {
-		return naiveMC(qg, trials, m.Seed, ops), nil
+// simulate runs the configured estimator on a compiled plan. ops may be
+// nil, in which case the kernels skip counter bookkeeping.
+func (m *MonteCarlo) simulate(plan *kernel.Plan, trials int, ops *OpStats) []float64 {
+	scores := make([]float64, plan.NumAnswers())
+	var so *kernel.SimOps
+	if ops != nil {
+		so = new(kernel.SimOps)
 	}
-	if m.Workers > 1 {
-		return parallelTraversalMC(qg, trials, m.Seed, m.Workers, ops), nil
+	switch {
+	case m.Naive:
+		plan.Naive(scores, trials, prob.NewRNG(m.Seed), so)
+	case m.Workers > 1:
+		sim := parallelTraversalMC(plan, trials, m.Seed, m.Workers, scores)
+		if so != nil {
+			*so = sim
+		}
+	default:
+		plan.Reliability(scores, trials, prob.NewRNG(m.Seed), so)
 	}
-	return traversalMC(qg, trials, m.Seed, ops), nil
-}
-
-// traversalMC is Algorithm 3.1: per-trial lazy DFS from the source.
-func traversalMC(qg *graph.QueryGraph, trials int, seed uint64, ops *OpStats) []float64 {
-	reach := traversalCounts(qg, trials, prob.NewRNG(seed), ops)
-	scores := make([]float64, len(qg.Answers))
-	for i, a := range qg.Answers {
-		scores[i] = float64(reach[a]) / float64(trials)
+	if ops != nil {
+		ops.merge(opsFromSim(*so))
 	}
 	return scores
 }
 
 // parallelTraversalMC fans the trials out over workers goroutines, each
-// with its own RNG stream, and merges the per-node reach counts.
-func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers int, ops *OpStats) []float64 {
+// with its own SplitMix64-derived RNG stream, runs the compiled
+// traversal kernel per shard, and merges the per-node reach counts into
+// scores.
+func parallelTraversalMC(plan *kernel.Plan, trials int, seed uint64, workers int, scores []float64) kernel.SimOps {
 	if workers > trials {
 		workers = trials
 	}
 	counts := make([][]int64, workers)
-	shardOps := make([]OpStats, workers)
+	shardOps := make([]kernel.SimOps, workers)
 	var wg sync.WaitGroup
 	base := trials / workers
 	extra := trials % workers
@@ -152,128 +174,27 @@ func parallelTraversalMC(qg *graph.QueryGraph, trials int, seed uint64, workers 
 		go func(w, share int) {
 			defer wg.Done()
 			// Distinct, deterministic stream per worker.
-			rng := prob.NewRNG(seed ^ (0x9e3779b97f4a7c15 * uint64(w+1)))
-			counts[w] = traversalCounts(qg, share, rng, &shardOps[w])
+			rng := prob.NewRNG(prob.StreamSeed(seed, uint64(w)))
+			c := make([]int64, plan.NumNodes())
+			plan.ReliabilityCounts(c, share, rng, &shardOps[w])
+			counts[w] = c
 		}(w, share)
 	}
 	wg.Wait()
-	if ops != nil {
-		for w := range shardOps {
-			ops.merge(shardOps[w])
+	total := counts[0]
+	for w := 1; w < workers; w++ {
+		for i, v := range counts[w] {
+			total[i] += v
 		}
 	}
-	scores := make([]float64, len(qg.Answers))
-	for i, a := range qg.Answers {
-		var total int64
-		for w := range counts {
-			total += counts[w][a]
-		}
-		scores[i] = float64(total) / float64(trials)
+	plan.ScoresFromCounts(total, trials, scores)
+	var ops kernel.SimOps
+	for w := range shardOps {
+		ops.Trials += shardOps[w].Trials
+		ops.NodeVisits += shardOps[w].NodeVisits
+		ops.CoinFlips += shardOps[w].CoinFlips
 	}
-	return scores
-}
-
-// traversalCounts runs the lazy-DFS simulation and returns per-node
-// reach counts. ops, when non-nil, accumulates operation counters.
-func traversalCounts(qg *graph.QueryGraph, trials int, rng *prob.RNG, ops *OpStats) []int64 {
-	n := qg.NumNodes()
-	lastSim := make([]int32, n) // trial number of last visit; 0 = never
-	reach := make([]int64, n)
-	stack := make([]graph.NodeID, 0, 64)
-	var flips, visits int64
-
-	for t := int32(1); t <= int32(trials); t++ {
-		stack = stack[:0]
-		// Visit the source.
-		lastSim[qg.Source] = t
-		flips++
-		if rng.Bernoulli(qg.Node(qg.Source).P) {
-			reach[qg.Source]++
-			visits++
-			stack = append(stack, qg.Source)
-		}
-		for len(stack) > 0 {
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, eid := range qg.Out(x) {
-				e := qg.Edge(eid)
-				if lastSim[e.To] == t {
-					continue // already decided this trial
-				}
-				flips++
-				if !rng.Bernoulli(e.Q) {
-					continue // edge failed
-				}
-				lastSim[e.To] = t
-				flips++
-				if rng.Bernoulli(qg.Node(e.To).P) {
-					reach[e.To]++
-					visits++
-					stack = append(stack, e.To)
-				}
-			}
-		}
-	}
-	if ops != nil {
-		ops.merge(OpStats{Trials: int64(trials), NodeVisits: visits, CoinFlips: flips})
-	}
-	return reach
-}
-
-// naiveMC flips every node and edge coin, then tests connectivity.
-func naiveMC(qg *graph.QueryGraph, trials int, seed uint64, ops *OpStats) []float64 {
-	rng := prob.NewRNG(seed)
-	n := qg.NumNodes()
-	mEdges := qg.NumEdges()
-	nodeUp := make([]bool, n)
-	edgeUp := make([]bool, mEdges)
-	seen := make([]bool, n)
-	reach := make([]int64, n)
-	stack := make([]graph.NodeID, 0, 64)
-	var flips, visits int64
-
-	for t := 0; t < trials; t++ {
-		flips += int64(n) + int64(mEdges)
-		for i := 0; i < n; i++ {
-			nodeUp[i] = rng.Bernoulli(qg.Node(graph.NodeID(i)).P)
-			seen[i] = false
-		}
-		for i := 0; i < mEdges; i++ {
-			edgeUp[i] = rng.Bernoulli(qg.Edge(graph.EdgeID(i)).Q)
-		}
-		if !nodeUp[qg.Source] {
-			continue
-		}
-		stack = append(stack[:0], qg.Source)
-		seen[qg.Source] = true
-		reach[qg.Source]++
-		visits++
-		for len(stack) > 0 {
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, eid := range qg.Out(x) {
-				if !edgeUp[eid] {
-					continue
-				}
-				to := qg.Edge(eid).To
-				if seen[to] || !nodeUp[to] {
-					continue
-				}
-				seen[to] = true
-				reach[to]++
-				visits++
-				stack = append(stack, to)
-			}
-		}
-	}
-	if ops != nil {
-		ops.merge(OpStats{Trials: int64(trials), NodeVisits: visits, CoinFlips: flips})
-	}
-	scores := make([]float64, len(qg.Answers))
-	for i, a := range qg.Answers {
-		scores[i] = float64(reach[a]) / float64(trials)
-	}
-	return scores
+	return ops
 }
 
 // TrialBound returns the number of independent Monte Carlo trials that
