@@ -79,6 +79,14 @@ type Options struct {
 	// ranking, typically well before the fixed 10,000-trial budget.
 	// Trials then caps the total.
 	Adaptive bool
+	// TopK replaces the Reliability estimator with the bound-based
+	// successive-elimination racer: per-candidate confidence intervals
+	// are maintained over Monte Carlo batches, candidates certifiably
+	// outside the top K are eliminated and stop being simulated, and
+	// only the top K scores (and their boundary) are certified. Takes
+	// precedence over Adaptive; Trials caps the per-candidate count. Use
+	// Answers.TopK to additionally read the confidence bounds.
+	TopK int
 }
 
 // ranker builds the rank.Ranker for a method, running on plan when the
@@ -88,6 +96,9 @@ func (o Options) ranker(m Method, plan *kernel.Plan) (rank.Ranker, error) {
 	case Reliability:
 		if o.Exact {
 			return rank.Exact{}, nil
+		}
+		if o.TopK > 0 {
+			return &rank.TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}, nil
 		}
 		if o.Adaptive {
 			return &rank.AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}, nil
@@ -251,6 +262,88 @@ func (a *Answers) Rank(m Method, o Options) ([]ScoredAnswer, error) {
 	return scoredAnswers(a.qg, res.Scores), nil
 }
 
+// TopKAnswer is one certified top-k answer: its identity, score
+// estimate, the confidence interval the racer held when it stopped, and
+// how many Monte Carlo trials the candidate consumed.
+type TopKAnswer struct {
+	Kind  string
+	Label string
+	Score float64
+	// Lo and Hi bound the true reliability at the racer's confidence
+	// level (1−Delta, union-bounded over candidates and rounds).
+	Lo, Hi float64
+	// Trials is the number of simulation trials this candidate
+	// participated in before the race ended.
+	Trials int64
+}
+
+// TopKResult is the outcome of a top-k race: the certified top k in
+// descending score order plus the race telemetry.
+type TopKResult struct {
+	// Answers holds the top k (fewer when the answer set is smaller).
+	Answers []TopKAnswer
+	// Candidates is the size of the answer set that was raced.
+	Candidates int
+	// Trials is the total number of kernel simulation batches × batch
+	// size the race ran (the surviving candidates' trial count).
+	Trials int64
+	// CandidateTrials sums trials over candidates — the racer's cost
+	// metric; fixed-budget and adaptive simulation cost
+	// trials × candidates by the same metric.
+	CandidateTrials int64
+	// Pruned counts candidates eliminated before the race ended; Rounds
+	// counts simulation batches.
+	Pruned, Rounds int
+}
+
+// TopK races the answer set and returns the certified top k by
+// reliability, with per-answer confidence bounds: candidates whose
+// upper confidence bound falls below the k-th largest lower bound are
+// successively eliminated, and the Monte Carlo kernel stops simulating
+// the parts of the query graph only they needed. Options.Trials caps
+// the per-candidate trial count; Options.Seed fixes the race
+// deterministically. For the full ranking (all answers, no bounds) use
+// Rank or RankAll.
+func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("biorank: top-k rank requires k >= 1, got %d", k)
+	}
+	var plan *kernel.Plan
+	if !o.Reduce {
+		plan = a.planFor()
+	}
+	racer := &rank.TopKRacer{K: k, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}
+	res, rs, err := racer.RankWithRace(a.qg)
+	if err != nil {
+		return nil, err
+	}
+	order := rank.ArgsortDesc(res.Scores)
+	if k > len(order) {
+		k = len(order)
+	}
+	out := &TopKResult{
+		Answers:         make([]TopKAnswer, k),
+		Candidates:      len(res.Scores),
+		Trials:          rs.Trials,
+		CandidateTrials: rs.CandidateTrials(),
+		Pruned:          rs.Pruned,
+		Rounds:          rs.Rounds,
+	}
+	for i := 0; i < k; i++ {
+		idx := order[i]
+		n := a.qg.Node(a.qg.Answers[idx])
+		out.Answers[i] = TopKAnswer{
+			Kind:   n.Kind,
+			Label:  n.Label,
+			Score:  res.Scores[idx],
+			Lo:     rs.Lo[idx],
+			Hi:     rs.Hi[idx],
+			Trials: rs.TrialsPerCandidate[idx],
+		}
+	}
+	return out, nil
+}
+
 // RankAll scores every answer under the given semantics (all five when
 // none are named) in one pass over the shared query graph — the graph
 // is resolved and pruned exactly once, the methods run concurrently,
@@ -269,6 +362,7 @@ func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnsw
 		Exact:     o.Exact,
 		MCWorkers: o.Workers,
 		Adaptive:  o.Adaptive,
+		TopK:      o.TopK,
 		Methods:   names,
 	}
 	requested := names
@@ -475,6 +569,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 				Exact:     r.Options.Exact,
 				MCWorkers: r.Options.Workers,
 				Adaptive:  r.Options.Adaptive,
+				TopK:      r.Options.TopK,
 			},
 		}
 	}

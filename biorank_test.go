@@ -283,3 +283,86 @@ func TestParallelReliabilityOptionDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestAnswersTopK covers the facade's top-k race: the certified top k
+// arrives in descending order with coherent confidence bounds, the
+// telemetry reports the race, and Options.TopK plumbs through the batch
+// engine path.
+func TestAnswersTopK(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	protein := sys.Proteins()[0]
+	ans, err := sys.Query(protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 5
+	res, err := ans.TopK(k, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != k {
+		t.Fatalf("want %d answers, got %d", k, len(res.Answers))
+	}
+	for i, a := range res.Answers {
+		if a.Lo > a.Score || a.Score > a.Hi {
+			t.Errorf("answer %d: score %v outside [%v, %v]", i, a.Score, a.Lo, a.Hi)
+		}
+		if i > 0 && a.Score > res.Answers[i-1].Score {
+			t.Errorf("answers not in descending order at %d", i)
+		}
+		if a.Trials <= 0 {
+			t.Errorf("answer %d: nonpositive trial count %d", i, a.Trials)
+		}
+	}
+	if res.Candidates <= k {
+		t.Fatalf("demo answer set only %d candidates", res.Candidates)
+	}
+	if res.CandidateTrials >= res.Trials*int64(res.Candidates) {
+		t.Errorf("no pruning savings: candidate-trials %d vs full %d",
+			res.CandidateTrials, res.Trials*int64(res.Candidates))
+	}
+
+	// The certified top-k set must agree with an independent full
+	// ranking (fixed budget, sub-eps ties interchangeable).
+	full, err := ans.Rank(Reliability, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreOf := map[string]float64{}
+	for _, a := range full {
+		scoreOf[a.Kind+"/"+a.Label] = a.Score
+	}
+	for i, a := range res.Answers {
+		fixed := full[i]
+		if fixed.Kind == a.Kind && fixed.Label == a.Label {
+			continue
+		}
+		if gap := scoreOf[fixed.Kind+"/"+fixed.Label] - scoreOf[a.Kind+"/"+a.Label]; gap > 0.02 || gap < -0.02 {
+			t.Errorf("rank %d: racer %s/%s vs fixed %s/%s (gap %v)",
+				i+1, a.Kind, a.Label, fixed.Kind, fixed.Label, gap)
+		}
+	}
+
+	// k < 1 is rejected.
+	if _, err := ans.TopK(0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+
+	// The engine path accepts Options.TopK.
+	out := sys.QueryBatch([]BatchRequest{{
+		Protein: protein,
+		Methods: []Method{Reliability},
+		Options: Options{Seed: 7, TopK: k},
+	}})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if len(out[0].Rankings[Reliability]) == 0 {
+		t.Fatal("engine path returned no reliability ranking")
+	}
+}

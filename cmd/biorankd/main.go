@@ -14,6 +14,13 @@
 //	POST /rank    {"graph":<query-graph JSON>,"methods":[...],"trials":...}
 //	              Ranks a caller-supplied serialized query graph (the
 //	              format written by biorank -json / Answers.MarshalJSON).
+//	POST /topk    {"protein":"ABCC8","k":5,"trials":...,"seed":...}
+//	              Races the answer set with the successive-elimination
+//	              top-k ranker and returns only the certified top k,
+//	              each with its confidence interval [lo, hi] and trial
+//	              count, plus the race telemetry (candidates, pruned,
+//	              rounds, candidateTrials). GET /topk?protein=ABCC8&k=5
+//	              is also accepted.
 //	GET  /stats   Engine result- and plan-cache counters and server
 //	              configuration.
 //	GET  /healthz Liveness probe.
@@ -60,6 +67,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/rank", srv.handleRank)
+	mux.HandleFunc("/topk", srv.handleTopK)
 	mux.HandleFunc("/stats", srv.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -118,10 +126,11 @@ type queryRequest struct {
 	Exact    bool     `json:"exact,omitempty"`
 	Workers  int      `json:"workers,omitempty"`
 	Adaptive bool     `json:"adaptive,omitempty"`
+	TopK     int      `json:"topk,omitempty"`
 }
 
 func (q queryRequest) options() biorank.Options {
-	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive}
+	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive, TopK: q.TopK}
 }
 
 func (q queryRequest) methods() []biorank.Method {
@@ -218,7 +227,7 @@ func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
 				*dst = b
 			}
 		}
-		for key, dst := range map[string]*int{"trials": &req.Trials, "workers": &req.Workers} {
+		for key, dst := range map[string]*int{"trials": &req.Trials, "workers": &req.Workers, "topk": &req.TopK} {
 			if v := q.Get(key); v != "" {
 				n, err := strconv.Atoi(v)
 				if err != nil {
@@ -306,6 +315,116 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		"nodes":    nodes,
 		"edges":    edges,
 		"rankings": rankings,
+	})
+}
+
+// topkRequest is the wire form of /topk.
+type topkRequest struct {
+	Protein string `json:"protein"`
+	K       int    `json:"k,omitempty"`
+	Trials  int    `json:"trials,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Reduce  bool   `json:"reduce,omitempty"`
+}
+
+// topkAnswer is one certified top-k answer on the wire, with its
+// confidence interval.
+type topkAnswer struct {
+	Kind   string  `json:"kind"`
+	Label  string  `json:"label"`
+	Name   string  `json:"name,omitempty"`
+	Score  float64 `json:"score"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Trials int64   `json:"trials"`
+}
+
+// handleTopK races a protein's answer set with the successive-
+// elimination top-k ranker and returns the certified top k with
+// confidence bounds and race telemetry.
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	req := topkRequest{K: 5}
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Protein = q.Get("protein")
+		for key, dst := range map[string]*int{"k": &req.K, "trials": &req.Trials} {
+			if v := q.Get(key); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %v", key, err))
+					return
+				}
+				*dst = n
+			}
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad seed: %v", err))
+				return
+			}
+			req.Seed = n
+		}
+		if v := q.Get("reduce"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad reduce: %v", err))
+				return
+			}
+			req.Reduce = b
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+			return
+		}
+		if req.K == 0 {
+			req.K = 5
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if req.Protein == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("protein is required"))
+		return
+	}
+	if req.K < 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", req.K))
+		return
+	}
+	ans, err := s.sys.Query(req.Protein)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	res, err := ans.TopK(req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	answers := make([]topkAnswer, len(res.Answers))
+	for i, a := range res.Answers {
+		answers[i] = topkAnswer{
+			Kind:   a.Kind,
+			Label:  a.Label,
+			Name:   biorank.FunctionName(a.Label),
+			Score:  a.Score,
+			Lo:     a.Lo,
+			Hi:     a.Hi,
+			Trials: a.Trials,
+		}
+	}
+	writeJSON(w, map[string]any{
+		"protein":         req.Protein,
+		"k":               req.K,
+		"candidates":      res.Candidates,
+		"trials":          res.Trials,
+		"candidateTrials": res.CandidateTrials,
+		"pruned":          res.Pruned,
+		"rounds":          res.Rounds,
+		"answers":         answers,
 	})
 }
 

@@ -4,6 +4,10 @@
 //	experiments all
 //	experiments -quick all   # reduced trial counts for a fast pass
 //
+// Extensions beyond the paper run only when named explicitly:
+//
+//	experiments ablation scaling racer
+//
 // Output is printed as fixed-width text tables with the paper's reported
 // values alongside for comparison; EXPERIMENTS.md is generated from this
 // command's output.
@@ -151,6 +155,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderScaling(rows))
+			return nil
+		})
+	}
+	if want["racer"] {
+		run("racer", func() error {
+			res, err := suite.RacerEfficiency(5)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderRacer(res))
 			return nil
 		})
 	}

@@ -8,6 +8,8 @@
 //
 //	go run ./examples/loadgen -clients 8 -rounds 5 -trials 500
 //	go run ./examples/loadgen -mode adaptive
+//	go run ./examples/loadgen -mode topk -k 5   # successive-elimination racer
+//	go run ./examples/loadgen -mode all         # fixed, adaptive and topk passes
 //
 // With -addr it instead targets a running biorankd over HTTP:
 //
@@ -38,7 +40,8 @@ func main() {
 		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query (cap in adaptive mode)")
 		seed    = flag.Uint64("seed", 1, "world and simulation seed")
 		addr    = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
-		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|both")
+		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|both|all")
+		topk    = flag.Int("k", 5, "k for -mode topk (certified top-k racing)")
 	)
 	flag.Parse()
 
@@ -54,19 +57,29 @@ func main() {
 		modes = []string{"fixed"}
 	case "adaptive":
 		modes = []string{"adaptive"}
+	case "topk":
+		modes = []string{"topk"}
 	case "both":
 		modes = []string{"fixed", "adaptive"}
+	case "all":
+		modes = []string{"fixed", "adaptive", "topk"}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|both)\n", *mode)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|both|all)\n", *mode)
 		os.Exit(2)
 	}
 
 	for _, m := range modes {
 		opts := biorank.Options{Trials: *trials, Seed: *seed, Reduce: true, Adaptive: m == "adaptive"}
-		if m == "adaptive" {
+		switch m {
+		case "adaptive":
 			// The fixed-mode trial count is the adaptive cap; give the
 			// stopping rule room above the default batch size.
 			opts.Trials = 10 * *trials
+		case "topk":
+			// Same cap story for the racer; only reliability is raced, so
+			// restrict the batch to the method the mode is about.
+			opts.Trials = 10 * *trials
+			opts.TopK = *topk
 		}
 		run(sys, *clients, *rounds, *addr, m, opts)
 	}
@@ -75,6 +88,12 @@ func main() {
 // run fires the closed-loop workload once and reports its metrics.
 func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biorank.Options) {
 	proteins := sys.Proteins()
+	// The racer only changes reliability, so the topk pass measures that
+	// method alone; the other modes rank all five semantics.
+	var methods []biorank.Method
+	if mode == "topk" {
+		methods = []biorank.Method{biorank.Reliability}
+	}
 	var queries, methodsScored, errs atomic.Int64
 	latencies := make([][]time.Duration, clients)
 
@@ -86,7 +105,7 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 			batch := make([]biorank.BatchRequest, 0, 4)
 			for k := 0; k < 4; k++ {
 				p := proteins[(client*4+round+k)%len(proteins)]
-				batch = append(batch, biorank.BatchRequest{Protein: p, Options: opts})
+				batch = append(batch, biorank.BatchRequest{Protein: p, Methods: methods, Options: opts})
 			}
 			start := time.Now()
 			if addr != "" {
@@ -171,15 +190,21 @@ func target(addr string) string {
 // returns (queries ok, method evaluations, errors).
 func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) (int64, int64, int64) {
 	type wireReq struct {
-		Protein  string `json:"protein"`
-		Trials   int    `json:"trials"`
-		Seed     uint64 `json:"seed"`
-		Reduce   bool   `json:"reduce"`
-		Adaptive bool   `json:"adaptive"`
+		Protein  string   `json:"protein"`
+		Methods  []string `json:"methods,omitempty"`
+		Trials   int      `json:"trials"`
+		Seed     uint64   `json:"seed"`
+		Reduce   bool     `json:"reduce"`
+		Adaptive bool     `json:"adaptive"`
+		TopK     int      `json:"topk,omitempty"`
 	}
 	reqs := make([]wireReq, len(batch))
 	for i, b := range batch {
-		reqs[i] = wireReq{Protein: b.Protein, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive}
+		methods := make([]string, len(b.Methods))
+		for j, m := range b.Methods {
+			methods[j] = string(m)
+		}
+		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK}
 	}
 	body, err := json.Marshal(map[string]any{"requests": reqs})
 	if err != nil {

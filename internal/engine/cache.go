@@ -30,6 +30,7 @@ type optionsKey struct {
 	exact     bool
 	mcWorkers int
 	adaptive  bool
+	topK      int
 }
 
 // CacheStats reports the cache's cumulative effectiveness counters.
@@ -65,8 +66,9 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached scores for key, or nil. The returned slice is
-// shared and must not be mutated by callers.
+// get returns a copy of the cached scores for key, or nil. Copying on
+// the way out means a caller that sorts or otherwise edits the returned
+// slice in place cannot corrupt the cached entry for later hits.
 func (c *resultCache) get(key cacheKey) []float64 {
 	if c == nil {
 		return nil
@@ -80,15 +82,19 @@ func (c *resultCache) get(key cacheKey) []float64 {
 	}
 	c.stats.Hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).scores
+	return append([]float64(nil), el.Value.(*cacheEntry).scores...)
 }
 
-// put stores scores under key, evicting the least recently used entry
-// when over capacity.
+// put stores a copy of scores under key, evicting the least recently
+// used entry when over capacity. Copying on the way in means the cache
+// never aliases a slice the caller keeps (the engine hands the same
+// scores to the response it returns), so later caller mutations cannot
+// leak into cached results.
 func (c *resultCache) put(key cacheKey, scores []float64) {
 	if c == nil {
 		return
 	}
+	scores = append([]float64(nil), scores...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

@@ -58,3 +58,38 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatal("non-positive capacity should disable the cache")
 	}
 }
+
+// TestCacheNoAliasing is the regression test for the score-slice
+// aliasing bug: a caller that mutates the slice it got from get (e.g.
+// sorts scores in place) or keeps mutating the slice it passed to put
+// must not be able to corrupt the cached entry.
+func TestCacheNoAliasing(t *testing.T) {
+	c := newResultCache(4)
+	orig := []float64{0.9, 0.5, 0.1}
+	c.put(key(1), orig)
+
+	// Mutating the slice the caller handed to put must not leak in.
+	orig[0] = -1
+	if got := c.get(key(1)); got[0] != 0.9 {
+		t.Fatalf("put aliased the caller's slice: cached[0] = %v", got[0])
+	}
+
+	// Mutating the slice a hit returned must not corrupt later hits.
+	first := c.get(key(1))
+	first[0], first[1], first[2] = 0, 0, 0 // simulate an in-place sort
+	second := c.get(key(1))
+	want := []float64{0.9, 0.5, 0.1}
+	for i := range want {
+		if second[i] != want[i] {
+			t.Fatalf("get aliased the cached slice: hit = %v, want %v", second, want)
+		}
+	}
+
+	// The update-in-place path must copy too.
+	upd := []float64{0.7}
+	c.put(key(1), upd)
+	upd[0] = 42
+	if got := c.get(key(1)); got[0] != 0.7 {
+		t.Fatalf("update aliased the caller's slice: cached[0] = %v", got[0])
+	}
+}

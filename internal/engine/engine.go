@@ -68,10 +68,16 @@ type Options struct {
 	// 3.1-style bound certifies the observed ranking. Trials then caps
 	// the total.
 	Adaptive bool
+	// TopK replaces the reliability estimator with the successive-
+	// elimination top-k racer (rank.TopKRacer): only the top K scores
+	// and their boundary are certified, and eliminated candidates stop
+	// being simulated. Takes precedence over Adaptive. Because only the
+	// top K is certified, K is part of the result-cache key.
+	TopK int
 }
 
 func (o Options) key() optionsKey {
-	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive}
+	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive, topK: o.TopK}
 }
 
 // Request is one unit of work in a batch: rank the answers of a query
@@ -284,6 +290,7 @@ func (e *Engine) execute(req *Request, resp *Response) {
 			Exact:     req.Options.Exact,
 			MCWorkers: req.Options.MCWorkers,
 			Adaptive:  req.Options.Adaptive,
+			TopK:      req.Options.TopK,
 			Methods:   misses,
 		}
 		all.Plan = e.planFor(qg, fp, version, all)

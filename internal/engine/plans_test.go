@@ -111,3 +111,34 @@ func TestPlanCacheEviction(t *testing.T) {
 		t.Fatalf("stats %+v", s)
 	}
 }
+
+// TestTopKOptionDistinctCacheKey pins that K participates in the result
+// cache key: a top-k race only certifies the top K scores, so serving a
+// K=2 race from a K=5 (or fixed-budget) entry would hand out bounds
+// that were never certified.
+func TestTopKOptionDistinctCacheKey(t *testing.T) {
+	e := New(ResolverFunc(func(string) (*graph.QueryGraph, error) {
+		return planTestGraph(), nil
+	}), Config{})
+	defer e.Close()
+	fixed := Request{Source: "x", Methods: []string{"reliability"}, Options: Options{Trials: 20000, Seed: 3}}
+	topk := fixed
+	topk.Options.TopK = 2
+	topk2 := fixed
+	topk2.Options.TopK = 3
+	r1 := e.Rank(fixed)
+	r2 := e.Rank(topk)
+	r3 := e.Rank(topk2)
+	for _, r := range []Response{r1, r2, r3} {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if r2.Cached["reliability"] || r3.Cached["reliability"] {
+		t.Fatal("top-k result served from a differently-keyed cache entry")
+	}
+	// A repeat of the same K must hit.
+	if r := e.Rank(topk); !r.Cached["reliability"] {
+		t.Fatal("identical top-k request missed the cache")
+	}
+}

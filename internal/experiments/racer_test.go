@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestRacerEfficiencyOnFigure8Workload is the acceptance check for the
+// top-k racer: on the scenario-1 query graphs it must reproduce the
+// fixed-budget top-5 (up to sub-eps ties) on every graph while spending
+// measurably fewer candidate-trials — and fewer total simulation
+// operations — than both the fixed budget and the adaptive estimator,
+// with the prune events visible in the telemetry.
+func TestRacerEfficiencyOnFigure8Workload(t *testing.T) {
+	s := suite(t)
+	const k = 5
+	res, err := s.RacerEfficiency(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disagree != 0 {
+		t.Errorf("racer top-%d disagreed with fixed budget on %d/%d graphs", k, res.Disagree, res.Graphs)
+	}
+	if res.Racer.Pruned == 0 {
+		t.Error("racer pruned no candidates across the whole workload")
+	}
+	if res.Racer.CandidateTrials >= res.Adaptive.CandidateTrials {
+		t.Errorf("racer candidate-trials %d not below adaptive %d",
+			res.Racer.CandidateTrials, res.Adaptive.CandidateTrials)
+	}
+	if res.Racer.CandidateTrials >= res.Fixed.CandidateTrials {
+		t.Errorf("racer candidate-trials %d not below fixed %d",
+			res.Racer.CandidateTrials, res.Fixed.CandidateTrials)
+	}
+	if res.Racer.Ops.Total() >= res.Fixed.Ops.Total() {
+		t.Errorf("racer sim ops %d not below fixed %d", res.Racer.Ops.Total(), res.Fixed.Ops.Total())
+	}
+	if res.CandidateSavings <= 0.10 {
+		t.Errorf("candidate-trial savings vs adaptive only %.1f%%, want measurable (>10%%)",
+			100*res.CandidateSavings)
+	}
+	t.Logf("fixed %d / adaptive %d / racer %d candidate-trials (%.1f%% saved vs adaptive, %.1f%% ops); %d/%d candidates pruned",
+		res.Fixed.CandidateTrials, res.Adaptive.CandidateTrials, res.Racer.CandidateTrials,
+		100*res.CandidateSavings, 100*res.OpSavings, res.Racer.Pruned, res.Candidates)
+}

@@ -66,7 +66,14 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		}
 		fresh.AddEdge(NodeID(e.From), NodeID(e.To), e.Kind, e.Q)
 	}
-	*g = *fresh
+	// Move the rebuilt state field by field rather than copying the
+	// struct: the receiver's label-index lock must not be overwritten
+	// (and a deserialized graph is not yet shared, so no lock is held).
+	g.nodes, g.edges, g.out, g.in = fresh.nodes, fresh.edges, fresh.out, fresh.in
+	g.version = fresh.version
+	g.labelMu.Lock()
+	g.byLabel = nil
+	g.labelMu.Unlock()
 	return nil
 }
 

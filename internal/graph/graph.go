@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node within a single Graph.
@@ -48,7 +49,16 @@ type Graph struct {
 	out   [][]EdgeID // outgoing edge IDs per node
 	in    [][]EdgeID // incoming edge IDs per node
 
-	byLabel map[string]NodeID // "Kind/Label" -> id; built lazily
+	// byLabel maps "Kind/Label" -> id. Unlike the rest of the struct —
+	// which follows the usual contract of a single-goroutine build phase
+	// followed by read-only serving — this index is built lazily by the
+	// FIRST Lookup, which may happen on any of several concurrent server
+	// handlers, so every byLabel access goes through labelMu. AddNode
+	// also takes the lock to invalidate the index, but AddNode itself
+	// still belongs to the build phase: it mutates nodes/out/in without
+	// synchronization and must not run concurrently with readers.
+	labelMu sync.RWMutex
+	byLabel map[string]NodeID
 
 	// version counts structural and probability mutations. Caches keyed
 	// by (graph identity, version) are invalidated for free: a mutation
@@ -80,7 +90,9 @@ func (g *Graph) AddNode(kind, label string, p float64) NodeID {
 	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Label: label, P: p})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.labelMu.Lock()
 	g.byLabel = nil
+	g.labelMu.Unlock()
 	g.version++
 	return id
 }
@@ -147,15 +159,27 @@ func (g *Graph) OutDegree(n NodeID) int { return len(g.out[n]) }
 // InDegree returns the number of edges entering n.
 func (g *Graph) InDegree(n NodeID) int { return len(g.in[n]) }
 
-// Lookup returns the ID of the node with the given kind and label.
+// Lookup returns the ID of the node with the given kind and label. It is
+// safe for concurrent use: the label index is built lazily under a lock
+// on first use (and rebuilt after AddNode invalidates it), and a built
+// index is never mutated, only replaced.
 func (g *Graph) Lookup(kind, label string) (NodeID, bool) {
-	if g.byLabel == nil {
-		g.byLabel = make(map[string]NodeID, len(g.nodes))
-		for _, n := range g.nodes {
-			g.byLabel[n.Kind+"/"+n.Label] = n.ID
+	g.labelMu.RLock()
+	m := g.byLabel
+	g.labelMu.RUnlock()
+	if m == nil {
+		g.labelMu.Lock()
+		m = g.byLabel
+		if m == nil { // lost the build race: another goroutine already did it
+			m = make(map[string]NodeID, len(g.nodes))
+			for _, n := range g.nodes {
+				m[n.Kind+"/"+n.Label] = n.ID
+			}
+			g.byLabel = m
 		}
+		g.labelMu.Unlock()
 	}
-	id, ok := g.byLabel[kind+"/"+label]
+	id, ok := m[kind+"/"+label]
 	return id, ok
 }
 

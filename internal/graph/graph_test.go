@@ -1,7 +1,9 @@
 package graph
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -346,5 +348,50 @@ func TestFingerprintSensitivity(t *testing.T) {
 	qg4.Answers = nil
 	if qg4.Fingerprint() == qg1.Fingerprint() {
 		t.Fatal("changing the answer set must change the fingerprint")
+	}
+}
+
+// TestLookupConcurrent is the -race regression test for the lazy label
+// index: many goroutines triggering the first (building) Lookup at once
+// must neither race nor observe a partially built map.
+func TestLookupConcurrent(t *testing.T) {
+	g := New(64, 0)
+	for i := 0; i < 64; i++ {
+		g.AddNode("K", fmt.Sprintf("n%d", i), 1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				label := fmt.Sprintf("n%d", (i+w)%64)
+				id, ok := g.Lookup("K", label)
+				if !ok {
+					t.Errorf("worker %d: %s not found", w, label)
+					return
+				}
+				if got := g.Node(id).Label; got != label {
+					t.Errorf("worker %d: Lookup(%s) returned node %s", w, label, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestLookupSeesAddNode pins the invalidation contract: a node added
+// after the index was built must be found by later Lookups.
+func TestLookupSeesAddNode(t *testing.T) {
+	g := New(4, 0)
+	g.AddNode("K", "a", 1)
+	if _, ok := g.Lookup("K", "a"); !ok {
+		t.Fatal("a not found")
+	}
+	id := g.AddNode("K", "b", 1) // nils the index mid-flight
+	got, ok := g.Lookup("K", "b")
+	if !ok || got != id {
+		t.Fatalf("Lookup(b) = %v, %v after AddNode", got, ok)
 	}
 }

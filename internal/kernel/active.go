@@ -1,0 +1,152 @@
+package kernel
+
+import "biorank/internal/prob"
+
+// This file holds the active-subset variant of the compiled traversal
+// kernel, built for top-k ranking with successive elimination
+// (rank.TopKRacer): once a candidate answer is certifiably out of the
+// top k, the racer shrinks the simulated subgraph to the nodes that can
+// still influence a surviving candidate, so pruned candidates cost
+// nothing in later batches.
+//
+// Correctness of the restriction: the reliability of an answer a is the
+// probability that some source→a path is fully present. Every node on
+// such a path can, by definition, reach a, so restricting the traversal
+// to nodes that reach at least one active answer leaves the reach
+// probability of every ACTIVE answer untouched — the skipped region can
+// only serve answers nobody is racing anymore. The masked kernel
+// consumes fewer RNG draws per trial than the full kernel (skipped
+// elements flip no coins), so its stream diverges from the unmasked
+// run; each per-trial outcome remains an exact Bernoulli sample of
+// "source connects to a" for every active a.
+
+// AnswerNode returns the compiled node index of answer i, for callers
+// that accumulate per-node counts across batches and need to read a
+// single candidate's counter.
+func (p *Plan) AnswerNode(i int) int32 { return p.answers[i] }
+
+// ActiveMask overwrites mask (length NumNodes) with the live-node set of
+// an answer subset: node x is live iff at least one answer in active
+// (answer indices, 0..NumAnswers-1) is reachable from x. Computed by
+// reverse BFS over the plan's CSC in-adjacency in O(n+m); the racer
+// calls it once per prune event, not per trial.
+func (p *Plan) ActiveMask(active []int, mask []bool) {
+	for i := range mask {
+		mask[i] = false
+	}
+	stack := make([]int32, 0, len(active))
+	for _, ai := range active {
+		n := p.answers[ai]
+		if !mask[n] {
+			mask[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		y := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i, end := p.colStart[y], p.colStart[y+1]; i < end; i++ {
+			f := p.inEdges[i].from
+			if !mask[f] {
+				mask[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+}
+
+// ReliabilityCountsMasked is ReliabilityCounts restricted to the live
+// subgraph: out-edges whose head is not in mask are skipped without
+// flipping their coin, so simulation work scales with the surviving
+// candidates' closure rather than the full plan. counts (length
+// NumNodes) is accumulated into, like ReliabilityCounts. When the
+// source itself is dead (it cannot reach any active answer) the trials
+// are accounted but no simulation runs — every active count stays 0,
+// which is the exact answer.
+func (p *Plan) ReliabilityCountsMasked(counts []int64, mask []bool, trials int, rng *prob.RNG, ops *SimOps) {
+	if !mask[p.source] {
+		if ops != nil {
+			ops.Trials += int64(trials)
+		}
+		return
+	}
+	sc := p.getScratch()
+	sc.resetCounts()
+	p.traverseMasked(sc, mask, trials, rng, ops)
+	for i := 0; i < p.n; i++ {
+		counts[i] += sc.nodes[i].count
+	}
+	p.putScratch(sc)
+}
+
+// traverseMasked is traverse with a live-node filter: dead targets are
+// skipped before their edge coin is flipped. Within the live subgraph
+// the control flow, RNG consumption and counters are identical to the
+// unmasked kernel.
+func (p *Plan) traverseMasked(sc *Scratch, mask []bool, trials int, rng *prob.RNG, ops *SimOps) {
+	sc.nextEpoch(trials)
+	nodes := sc.nodes
+	stack := sc.stack
+	edges := p.edges
+	src := p.source
+	srcPB := nodes[src].pbits
+	epoch := sc.epoch
+	var flips, visits int64
+	xr := borrowRNG(rng)
+
+	for t := 0; t < trials; t++ {
+		epoch++
+		stamp := epoch
+		nodes[src].stamp = stamp
+		flips++
+		if srcPB != coinCertain {
+			if srcPB == 0 || xr.nextBits() >= srcPB {
+				continue
+			}
+		}
+		nodes[src].count++
+		visits++
+		stack[0] = src
+		top := 1
+		for top > 0 {
+			top--
+			x := stack[top]
+			for i, end := int(nodes[x].row), int(nodes[x].end); i < end; i++ {
+				e := &edges[i]
+				nc := &nodes[e.to]
+				if nc.stamp == stamp {
+					continue // already decided this trial
+				}
+				if !mask[e.to] {
+					continue // dead: cannot reach any active answer
+				}
+				flips++
+				if e.qbits != coinCertain {
+					if e.qbits == 0 || xr.nextBits() >= e.qbits {
+						continue // edge failed
+					}
+				}
+				nc.stamp = stamp
+				flips++
+				if nc.pbits != coinCertain {
+					if nc.pbits == 0 || xr.nextBits() >= nc.pbits {
+						continue // node failed
+					}
+				}
+				nc.count++
+				visits++
+				if nc.row != nc.end {
+					stack[top] = e.to
+					top++
+				}
+			}
+		}
+	}
+	xr.release(rng)
+	sc.epoch = epoch
+	if ops != nil {
+		ops.Trials += int64(trials)
+		ops.NodeVisits += visits
+		ops.CoinFlips += flips
+	}
+}

@@ -150,21 +150,30 @@ func (a *AdaptiveMonteCarlo) certified(scores, sorted []float64, trials int, eps
 		last = a.TopK
 	}
 	for i := 1; i <= last; i++ {
-		gap := sorted[i-1] - sorted[i]
-		if gap < eps {
-			continue // effective tie; not worth separating
-		}
-		need, err := TrialBound(gap, delta)
-		if err != nil {
-			// gap ≥ 1 means one score is 1 and the other 0; any trial
-			// count separates them.
-			continue
-		}
-		if trials < need {
+		if !gapCertified(sorted[i-1]-sorted[i], trials, eps, delta) {
 			return false
 		}
 	}
 	return true
+}
+
+// gapCertified reports whether trials suffice, under Theorem 3.1, to
+// certify the observed order of an adjacent score pair separated by gap:
+// either the gap is an effective tie (< eps, not worth separating) or
+// the achieved trial count reaches TrialBound(gap, delta). Shared by
+// AdaptiveMonteCarlo's stopping rule and TopKRacer's pair-resolution
+// check, so the edge cases (gap ≥ 1, tiny gaps) are handled once.
+func gapCertified(gap float64, trials int, eps, delta float64) bool {
+	if gap < eps {
+		return true // effective tie
+	}
+	need, err := TrialBound(gap, delta)
+	if err != nil {
+		// gap ≥ 1 means one score is 1 and the other 0; any trial count
+		// separates them.
+		return true
+	}
+	return trials >= need
 }
 
 func sortFloatsDesc(xs []float64) {

@@ -138,3 +138,94 @@ func TestAdaptiveString(t *testing.T) {
 		t.Fatal("empty description")
 	}
 }
+
+// TestCertifiedTopKEdgeCases pins the boundary behavior of the shared
+// stopping-rule bound logic that both AdaptiveMonteCarlo and TopKRacer
+// depend on: TopK values at or past the answer-set size, and degenerate
+// single-answer and empty score vectors, must never index past the
+// sorted scratch slice.
+func TestCertifiedTopKEdgeCases(t *testing.T) {
+	certify := func(topK int, scores []float64, trials int) bool {
+		a := &AdaptiveMonteCarlo{TopK: topK}
+		sorted := make([]float64, len(scores))
+		return a.certified(scores, sorted, trials, 0.02, 0.05)
+	}
+	scores := []float64{0.9, 0.5, 0.1}
+
+	// TopK >= len(scores): the full ranking is inspected, no
+	// out-of-range access.
+	for _, k := range []int{len(scores), len(scores) + 1, len(scores) + 100} {
+		if certify(k, scores, 1) {
+			t.Errorf("TopK=%d certified 0.4-gaps after 1 trial", k)
+		}
+		if !certify(k, scores, DefaultTrials*10) {
+			t.Errorf("TopK=%d not certified at a huge trial count", k)
+		}
+	}
+
+	// TopK == len-1: inspects every gap including the last boundary.
+	if certify(len(scores)-1, scores, 1) {
+		t.Error("TopK=len-1 certified after 1 trial")
+	}
+
+	// Single-answer graphs have nothing to separate: certified at once.
+	if !certify(0, []float64{0.7}, 1) {
+		t.Error("single score not immediately certified")
+	}
+	if !certify(5, []float64{0.7}, 1) {
+		t.Error("single score with TopK>len not immediately certified")
+	}
+
+	// Empty score vectors (answer-less query graphs) must not panic.
+	if !certify(0, nil, 1) || !certify(3, nil, 1) {
+		t.Error("empty scores not immediately certified")
+	}
+}
+
+// TestAdaptiveSingleNodeGraph runs the full adaptive estimator on a
+// one-node query graph (source == answer): the stopping rule must stop
+// after the first batch instead of indexing past sorted.
+func TestAdaptiveSingleNodeGraph(t *testing.T) {
+	g := graph.New(1, 0)
+	s := g.AddNode("Q", "s", 0.6)
+	qg, err := graph.NewQueryGraph(g, s, []graph.NodeID{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topK := range []int{0, 1, 2} {
+		a := &AdaptiveMonteCarlo{Seed: 1, TopK: topK}
+		res, ops, err := a.RankWithStats(qg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Scores) != 1 || math.Abs(res.Scores[0]-0.6) > 0.1 {
+			t.Fatalf("TopK=%d: scores %v, want ~[0.6]", topK, res.Scores)
+		}
+		if ops.Trials != 500 {
+			t.Errorf("TopK=%d: ran %d trials, want one 500-trial batch", topK, ops.Trials)
+		}
+	}
+}
+
+// TestGapCertified covers the shared pairwise certificate directly.
+func TestGapCertified(t *testing.T) {
+	// Sub-eps gaps are ties regardless of trials.
+	if !gapCertified(0.01, 0, 0.02, 0.05) {
+		t.Error("sub-eps gap not treated as tie")
+	}
+	// Gaps >= 1 (scores 1 and 0) are separated by any trial count.
+	if !gapCertified(1, 1, 0.02, 0.05) {
+		t.Error("gap 1 not certified")
+	}
+	// A 0.1 gap needs TrialBound(0.1, 0.05) trials, not fewer.
+	need, err := TrialBound(0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapCertified(0.1, need-1, 0.02, 0.05) {
+		t.Error("certified below the trial bound")
+	}
+	if !gapCertified(0.1, need, 0.02, 0.05) {
+		t.Error("not certified at the trial bound")
+	}
+}

@@ -162,3 +162,18 @@ func BenchmarkWheatstoneExact(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTopKRacer measures the successive-elimination racer on the
+// BenchmarkTraversalMC1000/BenchmarkAdaptiveMC workload: same graph,
+// same certified top 5, but eliminated candidates stop being simulated
+// (compare ns/op against BenchmarkAdaptiveMC).
+func BenchmarkTopKRacer(b *testing.B) {
+	qg := benchGraph(150, 50)
+	racer := &TopKRacer{K: 5, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := racer.Rank(qg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

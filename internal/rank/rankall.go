@@ -30,6 +30,12 @@ type AllOptions struct {
 	// and stops as soon as Theorem 3.1 certifies the observed ranking.
 	// Trials then acts as the cap (0 means the adaptive default cap).
 	Adaptive bool
+	// TopK replaces the reliability estimator with the bound-based
+	// TopKRacer: candidates outside the certified top K are successively
+	// eliminated and stop being simulated. Takes precedence over
+	// Adaptive; Trials caps the per-candidate trial count. Only the top
+	// K scores (and their boundary) are certified.
+	TopK int
 	// Sequential disables the per-method parallelism, evaluating the five
 	// semantics one after another. Scores are identical either way; the
 	// flag exists for benchmarking and for callers that are already
@@ -51,6 +57,9 @@ func (o AllOptions) ranker(name string) (Ranker, bool) {
 	case "reliability":
 		if o.Exact {
 			return Exact{}, true
+		}
+		if o.TopK > 0 {
+			return &TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: o.Plan}, true
 		}
 		if o.Adaptive {
 			return &AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: o.Plan}, true

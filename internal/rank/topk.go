@@ -1,0 +1,336 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+
+	"biorank/internal/graph"
+	"biorank/internal/kernel"
+	"biorank/internal/prob"
+)
+
+// TopKRacer estimates reliability like AdaptiveMonteCarlo but races the
+// answer candidates against each other with confidence-bound successive
+// elimination, in the style of bound-based probabilistic top-k ranking
+// (Bernecker et al., "Scalable Probabilistic Similarity Ranking in
+// Uncertain Databases"): after each Monte Carlo batch every still-active
+// candidate carries a confidence interval on its true reliability
+// (the tighter of an empirical-Bernstein and a Hoeffding bound, union-
+// bounded over candidates and rounds), and a candidate whose upper
+// bound falls below the k-th largest lower bound is certifiably outside
+// the top k and is dropped from the race. Elimination feeds back into
+// the simulation itself: the compiled kernel then restricts its
+// traversal to the subgraph that can still reach a surviving candidate
+// (Plan.ReliabilityCountsMasked), so pruned candidates cost nothing —
+// the win over AdaptiveMonteCarlo, which simulates the whole query graph
+// until its global stopping rule fires.
+//
+// The race stops once the top-k identity and internal order are
+// resolved: every adjacent pair among the observed top k (plus the
+// boundary pair separating rank k from rank k+1) is an effective tie
+// (gap < Eps), has disjoint confidence intervals, or is certified by
+// the same Theorem 3.1 trial bound AdaptiveMonteCarlo uses. The third
+// clause makes the racer stop no later (in batches) than the adaptive
+// estimator with TopK set; elimination makes each batch cheaper.
+type TopKRacer struct {
+	// K is the number of top answers whose identity and order must be
+	// certified. Values < 1 or > the answer-set size are clamped.
+	K int
+	// Eps is the score separation worth distinguishing (default 0.02).
+	Eps float64
+	// Delta is the total failure probability budget shared by all
+	// confidence intervals via a union bound (default 0.05).
+	Delta float64
+	// Batch is the number of trials per round (default 500).
+	Batch int
+	// MaxTrials caps the per-candidate trial count (default
+	// 10·DefaultTrials).
+	MaxTrials int
+	// Seed makes runs reproducible: the elimination schedule is a
+	// deterministic function of (graph, seed, parameters).
+	Seed uint64
+	// Reduce applies the Section 3.1.2 reductions first and races on the
+	// reduced graph.
+	Reduce bool
+	// Plan optionally supplies a pre-compiled kernel plan for the query
+	// graph (ignored under Reduce).
+	Plan *kernel.Plan
+
+	memo planMemo
+}
+
+// RaceStats reports what a top-k race did, beyond the shared OpStats
+// counters: how many trials each candidate consumed before it was
+// retired (or the race ended), the final confidence bounds, and the
+// prune events.
+type RaceStats struct {
+	OpStats
+	// TrialsPerCandidate[i] is the number of Monte Carlo trials answer i
+	// participated in; pruned candidates freeze at their elimination
+	// round.
+	TrialsPerCandidate []int64
+	// Lo and Hi are the per-answer confidence bounds at the end of the
+	// race (frozen at elimination for pruned candidates).
+	Lo, Hi []float64
+	// Pruned counts candidates eliminated before the race ended.
+	Pruned int
+	// Rounds counts simulation batches run.
+	Rounds int
+}
+
+// CandidateTrials returns the summed per-candidate trial count — the
+// racer's cost metric for comparison against estimators that simulate
+// every candidate in every trial (fixed-budget and adaptive Monte Carlo
+// cost trials × candidates by this metric).
+func (rs RaceStats) CandidateTrials() int64 {
+	var total int64
+	for _, n := range rs.TrialsPerCandidate {
+		total += n
+	}
+	return total
+}
+
+// Name implements Ranker.
+func (*TopKRacer) Name() string { return "reliability" }
+
+func (r *TopKRacer) params(numAnswers int) (k int, eps, delta float64, batch, maxTrials int) {
+	k, eps, delta, batch, maxTrials = r.K, r.Eps, r.Delta, r.Batch, r.MaxTrials
+	if k < 1 {
+		k = 1
+	}
+	if k > numAnswers {
+		k = numAnswers
+	}
+	if eps <= 0 {
+		eps = 0.02
+	}
+	if delta <= 0 {
+		delta = 0.05
+	}
+	if batch <= 0 {
+		batch = 500
+	}
+	if maxTrials <= 0 {
+		maxTrials = 10 * DefaultTrials
+	}
+	return k, eps, delta, batch, maxTrials
+}
+
+// Rank implements Ranker. Scores outside the certified top k are the
+// candidates' estimates at the round they were eliminated — honest but
+// coarser than the survivors'.
+func (r *TopKRacer) Rank(qg *graph.QueryGraph) (Result, error) {
+	res, _, err := r.RankWithRace(qg)
+	return res, err
+}
+
+// RankWithRace ranks and reports the race telemetry.
+func (r *TopKRacer) RankWithRace(qg *graph.QueryGraph) (Result, RaceStats, error) {
+	if err := validate(qg); err != nil {
+		return Result{}, RaceStats{}, err
+	}
+	res := Result{Method: r.Name()}
+	if r.Reduce {
+		red, _, mapping := ReduceAll(qg)
+		var inner RaceStats
+		innerScores := r.race(kernel.Compile(red), &inner)
+		// Map the reduced-graph race back onto the original answer set.
+		// Answers the reductions removed are unreachable: score 0 with
+		// certainty.
+		nA := len(qg.Answers)
+		rs := RaceStats{
+			OpStats:            inner.OpStats,
+			TrialsPerCandidate: make([]int64, nA),
+			Lo:                 make([]float64, nA),
+			Hi:                 make([]float64, nA),
+			Pruned:             inner.Pruned,
+			Rounds:             inner.Rounds,
+		}
+		res.Scores = make([]float64, nA)
+		for i, j := range mapping {
+			if j >= 0 {
+				res.Scores[i] = innerScores[j]
+				rs.TrialsPerCandidate[i] = inner.TrialsPerCandidate[j]
+				rs.Lo[i] = inner.Lo[j]
+				rs.Hi[i] = inner.Hi[j]
+			}
+		}
+		return res, rs, nil
+	}
+	var rs RaceStats
+	res.Scores = r.race(r.memo.For(qg, r.Plan), &rs)
+	return res, rs, nil
+}
+
+// race runs the successive-elimination loop on a compiled plan and
+// returns the per-answer score estimates.
+func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
+	nA := plan.NumAnswers()
+	scores := make([]float64, nA)
+	rs.TrialsPerCandidate = make([]int64, nA)
+	rs.Lo = make([]float64, nA)
+	rs.Hi = make([]float64, nA)
+	if nA == 0 {
+		return scores
+	}
+	k, eps, delta, batch, maxTrials := r.params(nA)
+	rounds := (maxTrials + batch - 1) / batch
+	// Union bound: every (candidate, round) interval must hold
+	// simultaneously for eliminations to be sound, so each individual
+	// interval runs at delta / (candidates · rounds).
+	deltaEach := delta / (float64(nA) * float64(rounds))
+
+	counts := make([]int64, plan.NumNodes())
+	lo, hi := rs.Lo, rs.Hi
+	active := make([]bool, nA)
+	activeIdx := make([]int, 0, nA)
+	for i := range active {
+		active[i] = true
+		activeIdx = append(activeIdx, i)
+	}
+	mask := make([]bool, plan.NumNodes())
+	plan.ActiveMask(activeIdx, mask)
+	order := make([]int, nA)
+	loSorted := make([]float64, nA)
+
+	rng := prob.NewRNG(r.Seed)
+	var so kernel.SimOps
+	trials := 0
+	for trials < maxTrials {
+		b := batch
+		if trials+b > maxTrials {
+			b = maxTrials - trials // honor the cap exactly
+		}
+		plan.ReliabilityCountsMasked(counts, mask, b, rng, &so)
+		trials += b
+		rs.Rounds++
+
+		for _, i := range activeIdx {
+			m := float64(counts[plan.AnswerNode(i)]) / float64(trials)
+			rad := confRadius(m, trials, deltaEach)
+			scores[i] = m
+			lo[i] = math.Max(0, m-rad)
+			hi[i] = math.Min(1, m+rad)
+			rs.TrialsPerCandidate[i] = int64(trials)
+		}
+
+		// Eliminate every active candidate whose upper bound sits below
+		// the k-th largest lower bound: with all intervals holding, it
+		// cannot be in the top k. A candidate owning one of the k largest
+		// lower bounds can never match (its hi ≥ its lo ≥ kthLB), so the
+		// active set cannot shrink below k.
+		copy(loSorted, lo)
+		sortFloatsDesc(loSorted)
+		kthLB := loSorted[k-1]
+		pruned := false
+		for _, i := range activeIdx {
+			if hi[i] < kthLB {
+				active[i] = false
+				rs.Pruned++
+				pruned = true
+			}
+		}
+		if pruned {
+			activeIdx = activeIdx[:0]
+			for i := range active {
+				if active[i] {
+					activeIdx = append(activeIdx, i)
+				}
+			}
+			// Shrink the simulated subgraph to the survivors' closure.
+			plan.ActiveMask(activeIdx, mask)
+		}
+		if topKResolved(order, scores, lo, hi, rs.TrialsPerCandidate, k, eps, delta) {
+			break
+		}
+	}
+	rs.merge(opsFromSim(so))
+	return scores
+}
+
+// topKResolved reports whether the observed top-k identity and internal
+// order are settled: for every adjacent pair among the top k by current
+// estimate — including the boundary pair (rank k, rank k+1) — the pair
+// is an effective tie, has disjoint confidence intervals, or is
+// certified by the shared Theorem 3.1 trial bound. The certificate uses
+// the SMALLER of the pair's trial counts: a pruned candidate's estimate
+// is frozen at its elimination round, and certifying against the
+// survivors' larger count would claim a confidence the frozen estimate
+// never earned. order is scratch for the index sort.
+func topKResolved(order []int, scores, lo, hi []float64, nTrials []int64, k int, eps, delta float64) bool {
+	sortIdxByScoreDesc(order, scores)
+	last := len(order) - 1
+	if k < last {
+		last = k
+	}
+	for j := 1; j <= last; j++ {
+		a, b := order[j-1], order[j]
+		if lo[a] >= hi[b] {
+			continue // intervals disjoint: order certified
+		}
+		pairTrials := nTrials[a]
+		if nTrials[b] < pairTrials {
+			pairTrials = nTrials[b]
+		}
+		if gapCertified(scores[a]-scores[b], int(pairTrials), eps, delta) {
+			continue // tie or Theorem 3.1 certificate
+		}
+		return false
+	}
+	return true
+}
+
+// ArgsortDesc returns the indices of scores sorted descending, ties
+// broken by index — the ordering every consumer of a score vector
+// (racer, facade, experiments) must agree on.
+func ArgsortDesc(scores []float64) []int {
+	order := make([]int, len(scores))
+	sortIdxByScoreDesc(order, scores)
+	return order
+}
+
+// sortIdxByScoreDesc fills order with 0..len-1 sorted by scores
+// descending, ties broken by index (stable and deterministic).
+func sortIdxByScoreDesc(order []int, scores []float64) {
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && scores[order[j]] > scores[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+// confRadius returns a two-sided confidence radius at level 1-delta for
+// the mean of n i.i.d. [0,1] samples with empirical mean. It takes the
+// tighter of two valid bounds, each run at delta/2:
+//
+//   - Hoeffding:           sqrt(ln(4/δ) / 2n)
+//   - empirical Bernstein: sqrt(2 v ln(6/δ) / n) + 3 ln(6/δ)/n,
+//     v = mean(1−mean)
+//
+// (Audibert, Munos, Szepesvári 2009 form; for Bernoulli samples the
+// plug-in variance mean(1−mean) is the MLE of the true variance.) The
+// Bernstein radius wins far from 1/2 — reliability races are decided in
+// the tails, where near-0 losers and near-1 winners have tiny variance
+// and retire after a handful of batches.
+func confRadius(mean float64, n int, delta float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	fn := float64(n)
+	hoeff := math.Sqrt(math.Log(4/delta) / (2 * fn))
+	lb := math.Log(6 / delta)
+	v := mean * (1 - mean)
+	bern := math.Sqrt(2*v*lb/fn) + 3*lb/fn
+	return math.Min(hoeff, bern)
+}
+
+// String describes the configuration, for logs.
+func (r *TopKRacer) String() string {
+	k, eps, delta, batch, maxTrials := r.params(maxInt)
+	return fmt.Sprintf("topk-racer(k=%d eps=%g delta=%g batch=%d max=%d)", k, eps, delta, batch, maxTrials)
+}
+
+const maxInt = int(^uint(0) >> 1)
