@@ -87,6 +87,14 @@ type Options struct {
 	// precedence over Adaptive; Trials caps the per-candidate count. Use
 	// Answers.TopK to additionally read the confidence bounds.
 	TopK int
+	// Worlds runs Reliability simulation on the bit-parallel kernel: 64
+	// possible worlds are evaluated per machine word, with Trials (and
+	// Adaptive / TopK batches) rounded up to multiples of 64. Scores are
+	// statistically equivalent to the scalar estimators — the per-element
+	// presence probabilities are identical — but the RNG stream differs,
+	// so a fixed seed does not reproduce the scalar scores bit for bit
+	// (it reproduces the bit-parallel scores bit for bit instead).
+	Worlds bool
 }
 
 // ranker builds the rank.Ranker for a method, running on plan when the
@@ -98,12 +106,12 @@ func (o Options) ranker(m Method, plan *kernel.Plan) (rank.Ranker, error) {
 			return rank.Exact{}, nil
 		}
 		if o.TopK > 0 {
-			return &rank.TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}, nil
+			return &rank.TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}, nil
 		}
 		if o.Adaptive {
-			return &rank.AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}, nil
+			return &rank.AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}, nil
 		}
-		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.Workers, Plan: plan}, nil
+		return &rank.MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.Workers, Worlds: o.Worlds, Plan: plan}, nil
 	case Propagation:
 		return &rank.Propagation{Plan: plan}, nil
 	case Diffusion:
@@ -312,7 +320,7 @@ func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
 	if !o.Reduce {
 		plan = a.planFor()
 	}
-	racer := &rank.TopKRacer{K: k, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: plan}
+	racer := &rank.TopKRacer{K: k, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}
 	res, rs, err := racer.RankWithRace(a.qg)
 	if err != nil {
 		return nil, err
@@ -363,6 +371,7 @@ func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnsw
 		MCWorkers: o.Workers,
 		Adaptive:  o.Adaptive,
 		TopK:      o.TopK,
+		Worlds:    o.Worlds,
 		Methods:   names,
 	}
 	requested := names
@@ -570,6 +579,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 				MCWorkers: r.Options.Workers,
 				Adaptive:  r.Options.Adaptive,
 				TopK:      r.Options.TopK,
+				Worlds:    r.Options.Worlds,
 			},
 		}
 	}

@@ -284,6 +284,76 @@ func TestParallelReliabilityOptionDeterministic(t *testing.T) {
 	}
 }
 
+// TestWorldsOptionFacade covers the bit-parallel estimator through the
+// public facade: Rank, the batch engine, and the top-k race all accept
+// Options.Worlds, scores stay statistically consistent with the scalar
+// estimator, and worlds runs are deterministic per seed.
+func TestWorldsOptionFacade(t *testing.T) {
+	sys, err := NewDemoSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	protein := sys.Proteins()[0]
+	ans, err := sys.Query(protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := Options{Trials: 20000, Seed: 9, Worlds: true}
+	a, err := ans.Rank(Reliability, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ans.Rank(Reliability, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worlds reliability not deterministic at answer %d", i)
+		}
+	}
+	scalar, err := ans.Rank(Reliability, Options{Trials: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scalar {
+		if d := scalar[i].Score - a[i].Score; d > 0.05 || d < -0.05 {
+			t.Errorf("answer %d (%s): scalar %v vs worlds %v", i, scalar[i].Label, scalar[i].Score, a[i].Score)
+		}
+	}
+
+	// Batch path: worlds requests succeed and rank sanely.
+	res := sys.QueryBatch([]BatchRequest{{
+		Protein: protein,
+		Methods: []Method{Reliability},
+		Options: Options{Trials: 2000, Seed: 1, Worlds: true},
+	}})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	for _, sa := range res[0].Rankings[Reliability] {
+		if sa.Score < 0 || sa.Score > 1 {
+			t.Fatalf("batch worlds score %v outside [0,1]", sa.Score)
+		}
+	}
+
+	// Top-k race with Worlds: trials come in 64-world words.
+	topk, err := ans.TopK(3, Options{Seed: 7, Worlds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topk.Answers) != 3 {
+		t.Fatalf("want 3 answers, got %d", len(topk.Answers))
+	}
+	for i, ta := range topk.Answers {
+		if ta.Trials <= 0 || ta.Trials%64 != 0 {
+			t.Errorf("answer %d: worlds race trials %d not a positive multiple of 64", i, ta.Trials)
+		}
+	}
+}
+
 // TestAnswersTopK covers the facade's top-k race: the certified top k
 // arrives in descending order with coherent confidence bounds, the
 // telemetry reports the race, and Options.TopK plumbs through the batch

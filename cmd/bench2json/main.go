@@ -8,6 +8,23 @@
 // Repeated runs of the same benchmark (-count N) are averaged. Output
 // maps benchmark name to ns/op, B/op, allocs/op and the number of
 // samples averaged.
+//
+// With -baseline FILE the output additionally carries a "delta" section
+// comparing the fresh run against the committed artifact: for every
+// benchmark present in both, the baseline ns/op (the FASTEST
+// measurement of that name anywhere in the baseline file — its sections
+// may record the same benchmark before and after an optimization), the
+// fresh ns/op, and the ratio fresh/baseline. Combined with -max-regress
+// this becomes a CI gate:
+//
+//	go run ./cmd/bench2json -baseline BENCH_rank.json \
+//	    -max-regress 0.25 -gate '^Benchmark(Compiled|BitParallel)' \
+//	    < bench.txt > bench_delta.json
+//
+// exits with status 3 when any benchmark matching -gate regressed by
+// more than the threshold; slower-but-within-threshold benchmarks only
+// produce a soft-fail comment on stderr. Benchmarks in only one of the
+// two runs are ignored by the gate.
 package main
 
 import (
@@ -18,6 +35,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one result line, e.g.
@@ -34,8 +52,22 @@ type Result struct {
 	Samples     int     `json:"samples"`
 }
 
+// Delta is one benchmark's fresh-vs-baseline comparison.
+type Delta struct {
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	// Ratio is fresh/baseline: 1.0 unchanged, 2.0 twice as slow.
+	Ratio float64 `json:"ratio"`
+	// Gated records whether the benchmark matched the -gate pattern and
+	// therefore participates in the hard-fail decision.
+	Gated bool `json:"gated,omitempty"`
+}
+
 func main() {
 	label := flag.String("label", "", "optional label recorded in the output (e.g. a commit or \"before\"/\"after\")")
+	baseline := flag.String("baseline", "", "committed BENCH_rank.json to diff the fresh run against (adds a \"delta\" section)")
+	maxRegress := flag.Float64("max-regress", -1, "fail (exit 3) when a -gate benchmark's ns/op grew by more than this fraction over the baseline (e.g. 0.25 = +25%); negative disables the gate")
+	gate := flag.String("gate", "^Benchmark(Compiled|BitParallel)", "regexp selecting the benchmarks the -max-regress gate applies to")
 	flag.Parse()
 
 	acc := map[string]*Result{}
@@ -84,10 +116,110 @@ func main() {
 	if *label != "" {
 		out["label"] = *label
 	}
+
+	regressed := false
+	if *baseline != "" {
+		gateRe, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json: bad -gate:", err)
+			os.Exit(1)
+		}
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		deltas := map[string]*Delta{}
+		gatedSeen := 0
+		for name, r := range acc {
+			bns, ok := base[name]
+			if !ok || bns <= 0 {
+				continue
+			}
+			d := &Delta{
+				BaselineNsPerOp: bns,
+				NsPerOp:         r.NsPerOp,
+				Ratio:           r.NsPerOp / bns,
+				Gated:           gateRe.MatchString(name),
+			}
+			deltas[name] = d
+			if d.Gated {
+				gatedSeen++
+			}
+			if *maxRegress >= 0 && d.Ratio > 1+*maxRegress {
+				if d.Gated {
+					regressed = true
+					fmt.Fprintf(os.Stderr, "bench2json: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)\n",
+						name, d.NsPerOp, d.BaselineNsPerOp, 100*(d.Ratio-1), 100**maxRegress)
+				} else {
+					fmt.Fprintf(os.Stderr, "bench2json: note: ungated benchmark %s is %.0f%% slower than baseline\n",
+						name, 100*(d.Ratio-1))
+				}
+			} else if *maxRegress >= 0 && d.Ratio > 1 {
+				// Soft-fail comment: slower, but inside the budget.
+				fmt.Fprintf(os.Stderr, "bench2json: note: %s is %.0f%% slower than baseline (within the %.0f%% budget)\n",
+					name, 100*(d.Ratio-1), 100**maxRegress)
+			}
+		}
+		out["delta"] = deltas
+		out["baseline_file"] = *baseline
+		// A gate that matches nothing is a disabled gate, not a passing
+		// one: renamed benchmarks or a garbled bench run must fail loudly.
+		if *maxRegress >= 0 && gatedSeen == 0 {
+			fmt.Fprintf(os.Stderr, "bench2json: gate %q matched no benchmark present in both the fresh run and %s — the regression gate would be a no-op\n", *gate, *baseline)
+			os.Exit(1)
+		}
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+	if regressed {
+		os.Exit(3)
+	}
+}
+
+// loadBaseline collects every benchmark measurement in a committed
+// artifact, walking the JSON tree so all sections (before/after,
+// topk_racer, bit_parallel, future ones) contribute. When a benchmark
+// name appears in several sections the FASTEST ns/op wins: the bar to
+// clear is the best the repository has ever recorded for that name.
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var root any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	out := map[string]float64{}
+	var walk func(v any)
+	walk = func(v any) {
+		m, ok := v.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, child := range m {
+			if strings.HasPrefix(k, "Benchmark") {
+				if entry, ok := child.(map[string]any); ok {
+					if ns, ok := entry["ns_per_op"].(float64); ok && ns > 0 {
+						if old, seen := out[k]; !seen || ns < old {
+							out[k] = ns
+						}
+						continue
+					}
+				}
+			}
+			walk(child)
+		}
+	}
+	walk(root)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmark entries found", path)
+	}
+	return out, nil
 }

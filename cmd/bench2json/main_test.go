@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadBaselineWalksAllSections checks the baseline loader finds
+// benchmark entries at any nesting depth and keeps the fastest
+// measurement when a name repeats across sections.
+func TestLoadBaselineWalksAllSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	blob := `{
+	  "note": "text",
+	  "before": {"benchmarks": {"BenchmarkX": {"ns_per_op": 200, "samples": 3}}},
+	  "after": {"benchmarks": {
+	    "BenchmarkX": {"ns_per_op": 100, "samples": 3},
+	    "BenchmarkY": {"ns_per_op": 50, "samples": 3}
+	  }},
+	  "extra": {"deeper": {"BenchmarkZ": {"ns_per_op": 7}}},
+	  "not_a_bench": {"BenchmarkBroken": {"other": 1}}
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base["BenchmarkX"]; got != 100 {
+		t.Errorf("BenchmarkX baseline = %v, want the fastest section's 100", got)
+	}
+	if got := base["BenchmarkY"]; got != 50 {
+		t.Errorf("BenchmarkY baseline = %v, want 50", got)
+	}
+	if got := base["BenchmarkZ"]; got != 7 {
+		t.Errorf("BenchmarkZ baseline = %v, want 7 (deeply nested)", got)
+	}
+	if _, ok := base["BenchmarkBroken"]; ok {
+		t.Error("entry without ns_per_op must be skipped")
+	}
+}
+
+// TestLoadBaselineErrors covers the failure modes the CI gate must
+// surface loudly rather than silently passing.
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := loadBaseline(bad); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"label": "x"}`), 0o644)
+	if _, err := loadBaseline(empty); err == nil {
+		t.Error("baseline without benchmarks must error")
+	}
+}
+
+// TestBenchLineRegex pins the parser against representative go test
+// -bench output shapes.
+func TestBenchLineRegex(t *testing.T) {
+	for _, tc := range []struct {
+		line string
+		name string
+		ns   string
+	}{
+		{"BenchmarkTraversalMC1000-8   302   3890470 ns/op   637 B/op   1 allocs/op", "BenchmarkTraversalMC1000", "3890470"},
+		{"BenchmarkBitParallel10000 \t 312\t   3950600 ns/op", "BenchmarkBitParallel10000", "3950600"},
+		{"BenchmarkCompile-4 	 60000	 18713.5 ns/op	 45728 B/op	 15 allocs/op", "BenchmarkCompile", "18713.5"},
+	} {
+		m := benchLine.FindStringSubmatch(tc.line)
+		if m == nil {
+			t.Errorf("line %q did not match", tc.line)
+			continue
+		}
+		if m[1] != tc.name || m[3] != tc.ns {
+			t.Errorf("line %q parsed as (%s, %s), want (%s, %s)", tc.line, m[1], m[3], tc.name, tc.ns)
+		}
+	}
+	if benchLine.MatchString("ok  \tbiorank/internal/kernel\t5.620s") {
+		t.Error("summary line must not parse as a benchmark")
+	}
+}

@@ -8,9 +8,13 @@
 // Endpoints:
 //
 //	POST /query   {"requests":[{"protein":"ABCC8","methods":["reliability"],
-//	               "trials":1000,"seed":1,"reduce":true}]}
+//	               "trials":1000,"seed":1,"reduce":true,"worlds":true}]}
 //	              Ranks a batch of queries; a single object (no "requests"
 //	              wrapper) is also accepted, as is GET /query?protein=ABCC8.
+//	              "worlds" selects the bit-parallel Monte Carlo estimator
+//	              (64 worlds per machine word, trials rounded up to a
+//	              multiple of 64; statistically equivalent to the scalar
+//	              estimator but on a different RNG stream).
 //	POST /rank    {"graph":<query-graph JSON>,"methods":[...],"trials":...}
 //	              Ranks a caller-supplied serialized query graph (the
 //	              format written by biorank -json / Answers.MarshalJSON).
@@ -127,10 +131,11 @@ type queryRequest struct {
 	Workers  int      `json:"workers,omitempty"`
 	Adaptive bool     `json:"adaptive,omitempty"`
 	TopK     int      `json:"topk,omitempty"`
+	Worlds   bool     `json:"worlds,omitempty"`
 }
 
 func (q queryRequest) options() biorank.Options {
-	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive, TopK: q.TopK}
+	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive, TopK: q.TopK, Worlds: q.Worlds}
 }
 
 func (q queryRequest) methods() []biorank.Method {
@@ -218,7 +223,7 @@ func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
 		if m := q.Get("methods"); m != "" {
 			req.Methods = strings.Split(m, ",")
 		}
-		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact, "adaptive": &req.Adaptive} {
+		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact, "adaptive": &req.Adaptive, "worlds": &req.Worlds} {
 			if v := q.Get(key); v != "" {
 				b, err := strconv.ParseBool(v)
 				if err != nil {
@@ -272,6 +277,7 @@ type rankRequest struct {
 	Exact    bool            `json:"exact,omitempty"`
 	Workers  int             `json:"workers,omitempty"`
 	Adaptive bool            `json:"adaptive,omitempty"`
+	Worlds   bool            `json:"worlds,omitempty"`
 }
 
 // handleRank ranks a caller-supplied query graph under the requested
@@ -295,7 +301,7 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad graph: %v", err))
 		return
 	}
-	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers, Adaptive: req.Adaptive}
+	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers, Adaptive: req.Adaptive, Worlds: req.Worlds}
 	methods := make([]biorank.Method, len(req.Methods))
 	for i, m := range req.Methods {
 		methods[i] = biorank.Method(m)
@@ -325,6 +331,7 @@ type topkRequest struct {
 	Trials  int    `json:"trials,omitempty"`
 	Seed    uint64 `json:"seed,omitempty"`
 	Reduce  bool   `json:"reduce,omitempty"`
+	Worlds  bool   `json:"worlds,omitempty"`
 }
 
 // topkAnswer is one certified top-k answer on the wire, with its
@@ -366,13 +373,15 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			}
 			req.Seed = n
 		}
-		if v := q.Get("reduce"); v != "" {
-			b, err := strconv.ParseBool(v)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad reduce: %v", err))
-				return
+		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "worlds": &req.Worlds} {
+			if v := q.Get(key); v != "" {
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %v", key, err))
+					return
+				}
+				*dst = b
 			}
-			req.Reduce = b
 		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -399,7 +408,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	res, err := ans.TopK(req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce})
+	res, err := ans.TopK(req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Worlds: req.Worlds})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return

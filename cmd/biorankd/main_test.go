@@ -94,6 +94,23 @@ func TestTopKHandler(t *testing.T) {
 		}
 	})
 
+	t.Run("worlds race", func(t *testing.T) {
+		code, out := do(t, s.handleTopK, http.MethodGet,
+			"/topk?protein="+proteins[0]+"&k=3&trials=2000&seed=1&worlds=true", "")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %v", code, out)
+		}
+		answers, ok := out["answers"].([]any)
+		if !ok || len(answers) != 3 {
+			t.Fatalf("want 3 answers, got %v", out["answers"])
+		}
+		// Bit-parallel batches round to 64-world words.
+		first := answers[0].(map[string]any)
+		if trials := int64(first["trials"].(float64)); trials == 0 || trials%64 != 0 {
+			t.Errorf("worlds race trials %d is not a positive multiple of 64", trials)
+		}
+	})
+
 	t.Run("bad method", func(t *testing.T) {
 		code, _ := do(t, s.handleTopK, http.MethodDelete, "/topk", "")
 		if code != http.StatusMethodNotAllowed {
@@ -211,6 +228,39 @@ func TestQueryHandler(t *testing.T) {
 		}
 		if _, ok := res["rankings"].(map[string]any)["reliability"]; !ok {
 			t.Fatalf("missing reliability ranking: %v", res)
+		}
+	})
+
+	t.Run("worlds option runs the bit-parallel estimator", func(t *testing.T) {
+		body := `{"protein":"` + proteins[0] + `","methods":["reliability"],"trials":2000,"seed":1,"worlds":true}`
+		code, out := do(t, s.handleQuery, http.MethodPost, "/query", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %v", code, out)
+		}
+		res := out["results"].([]any)[0].(map[string]any)
+		if errMsg, ok := res["error"]; ok && errMsg != "" {
+			t.Fatalf("result error: %v", errMsg)
+		}
+		ranked, ok := res["rankings"].(map[string]any)["reliability"].([]any)
+		if !ok || len(ranked) == 0 {
+			t.Fatalf("missing reliability ranking: %v", res)
+		}
+		for _, a := range ranked {
+			score := a.(map[string]any)["score"].(float64)
+			if score < 0 || score > 1 {
+				t.Fatalf("worlds score %v outside [0,1]", score)
+			}
+		}
+		// GET parses worlds= like the other booleans.
+		code, _ = do(t, s.handleQuery, http.MethodGet,
+			"/query?protein="+proteins[0]+"&methods=reliability&trials=2000&worlds=true", "")
+		if code != http.StatusOK {
+			t.Fatalf("GET worlds status %d", code)
+		}
+		code, _ = do(t, s.handleQuery, http.MethodGet,
+			"/query?protein="+proteins[0]+"&worlds=banana", "")
+		if code != http.StatusBadRequest {
+			t.Fatalf("bad worlds value: status %d, want 400", code)
 		}
 	})
 

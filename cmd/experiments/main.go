@@ -6,7 +6,7 @@
 //
 // Extensions beyond the paper run only when named explicitly:
 //
-//	experiments ablation scaling racer
+//	experiments ablation scaling racer worlds
 //
 // Output is printed as fixed-width text tables with the paper's reported
 // values alongside for comparison; EXPERIMENTS.md is generated from this
@@ -165,6 +165,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderRacer(res))
+			return nil
+		})
+	}
+	if want["worlds"] {
+		run("worlds", func() error {
+			res, err := suite.BitParallel(opts.Trials)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderWorlds(res))
 			return nil
 		})
 	}

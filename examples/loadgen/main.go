@@ -9,7 +9,12 @@
 //	go run ./examples/loadgen -clients 8 -rounds 5 -trials 500
 //	go run ./examples/loadgen -mode adaptive
 //	go run ./examples/loadgen -mode topk -k 5   # successive-elimination racer
-//	go run ./examples/loadgen -mode all         # fixed, adaptive and topk passes
+//	go run ./examples/loadgen -mode worlds      # bit-parallel Monte Carlo
+//	go run ./examples/loadgen -mode all         # fixed, adaptive, topk and worlds
+//
+// Modes with a fixed trial budget (fixed, worlds) additionally report
+// simulated trials/sec, so the bit-parallel kernel's speedup is visible
+// end to end rather than only in microbenchmarks.
 //
 // With -addr it instead targets a running biorankd over HTTP:
 //
@@ -31,6 +36,8 @@ import (
 	"time"
 
 	"biorank"
+	"biorank/internal/kernel"
+	"biorank/internal/rank"
 )
 
 func main() {
@@ -40,7 +47,7 @@ func main() {
 		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query (cap in adaptive mode)")
 		seed    = flag.Uint64("seed", 1, "world and simulation seed")
 		addr    = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
-		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|both|all")
+		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|worlds|both|all")
 		topk    = flag.Int("k", 5, "k for -mode topk (certified top-k racing)")
 	)
 	flag.Parse()
@@ -59,12 +66,14 @@ func main() {
 		modes = []string{"adaptive"}
 	case "topk":
 		modes = []string{"topk"}
+	case "worlds":
+		modes = []string{"worlds"}
 	case "both":
 		modes = []string{"fixed", "adaptive"}
 	case "all":
-		modes = []string{"fixed", "adaptive", "topk"}
+		modes = []string{"fixed", "adaptive", "topk", "worlds"}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|both|all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|both|all)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -80,6 +89,10 @@ func main() {
 			// restrict the batch to the method the mode is about.
 			opts.Trials = 10 * *trials
 			opts.TopK = *topk
+		case "worlds":
+			// Same fixed budget as the fixed pass, bit-parallel: the two
+			// passes answer "what does the worlds kernel buy end to end".
+			opts.Worlds = true
 		}
 		run(sys, *clients, *rounds, *addr, m, opts)
 	}
@@ -93,6 +106,19 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 	var methods []biorank.Method
 	if mode == "topk" {
 		methods = []biorank.Method{biorank.Reliability}
+	}
+	// Modes with an a-priori budget simulate a known number of trials
+	// per reliability query: the flag value for the scalar kernel, the
+	// same rounded up to whole 64-world words for the bit-parallel one.
+	relTrials := 0
+	if mode == "fixed" || mode == "worlds" {
+		relTrials = opts.Trials
+		if relTrials <= 0 {
+			relTrials = rank.DefaultTrials
+		}
+		if mode == "worlds" {
+			relTrials = kernel.WorldWords(relTrials) * kernel.WordSize
+		}
 	}
 	var queries, methodsScored, errs atomic.Int64
 	latencies := make([][]time.Duration, clients)
@@ -158,6 +184,10 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 		percentile(all, 0.95).Round(time.Microsecond),
 		percentile(all, 0.99).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond), len(all))
+	if relTrials > 0 {
+		fmt.Printf("  simulation: %d trials/query, %.0f trials/sec\n",
+			relTrials, float64(queries.Load()*int64(relTrials))/elapsed.Seconds())
+	}
 	if addr == "" {
 		fmt.Printf("  result cache: %+v\n", sys.CacheStats())
 		fmt.Printf("  plan cache:   %+v\n", sys.PlanStats())
@@ -197,6 +227,7 @@ func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) 
 		Reduce   bool     `json:"reduce"`
 		Adaptive bool     `json:"adaptive"`
 		TopK     int      `json:"topk,omitempty"`
+		Worlds   bool     `json:"worlds,omitempty"`
 	}
 	reqs := make([]wireReq, len(batch))
 	for i, b := range batch {
@@ -204,7 +235,7 @@ func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) 
 		for j, m := range b.Methods {
 			methods[j] = string(m)
 		}
-		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK}
+		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK, Worlds: opts.Worlds}
 	}
 	body, err := json.Marshal(map[string]any{"requests": reqs})
 	if err != nil {

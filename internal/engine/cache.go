@@ -31,6 +31,7 @@ type optionsKey struct {
 	mcWorkers int
 	adaptive  bool
 	topK      int
+	worlds    bool
 }
 
 // CacheStats reports the cache's cumulative effectiveness counters.

@@ -74,10 +74,17 @@ type Options struct {
 	// being simulated. Takes precedence over Adaptive. Because only the
 	// top K is certified, K is part of the result-cache key.
 	TopK int
+	// Worlds runs reliability simulation on the bit-parallel kernel (64
+	// possible worlds per machine word, trials rounded up to word
+	// multiples). The estimator is statistically — not bitwise —
+	// equivalent to the scalar kernels, so the flag is part of the
+	// result-cache key: a scalar hit must never serve a worlds request
+	// or vice versa.
+	Worlds bool
 }
 
 func (o Options) key() optionsKey {
-	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive, topK: o.TopK}
+	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive, topK: o.TopK, worlds: o.Worlds}
 }
 
 // Request is one unit of work in a batch: rank the answers of a query
@@ -291,6 +298,7 @@ func (e *Engine) execute(req *Request, resp *Response) {
 			MCWorkers: req.Options.MCWorkers,
 			Adaptive:  req.Options.Adaptive,
 			TopK:      req.Options.TopK,
+			Worlds:    req.Options.Worlds,
 			Methods:   misses,
 		}
 		all.Plan = e.planFor(qg, fp, version, all)

@@ -112,6 +112,40 @@ func TestPlanCacheEviction(t *testing.T) {
 	}
 }
 
+// TestWorldsOptionDistinctCacheKey pins that the bit-parallel flag
+// participates in the result cache key: the worlds estimator runs on a
+// different RNG stream, so a scalar entry served to a worlds request
+// (or vice versa) would silently break seed reproducibility.
+func TestWorldsOptionDistinctCacheKey(t *testing.T) {
+	e := New(ResolverFunc(func(string) (*graph.QueryGraph, error) {
+		return planTestGraph(), nil
+	}), Config{})
+	defer e.Close()
+	scalar := Request{Source: "x", Methods: []string{"reliability"}, Options: Options{Trials: 20000, Seed: 3}}
+	worlds := scalar
+	worlds.Options.Worlds = true
+	r1 := e.Rank(scalar)
+	r2 := e.Rank(worlds)
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatal(r1.Err, r2.Err)
+	}
+	if r2.Cached["reliability"] {
+		t.Fatal("worlds result served from scalar cache entry")
+	}
+	// Both estimate the same reliabilities, so scores agree loosely.
+	ss := r1.Results["reliability"].Scores
+	ws := r2.Results["reliability"].Scores
+	for i := range ss {
+		if d := ss[i] - ws[i]; d > 0.05 || d < -0.05 {
+			t.Fatalf("answer %d: scalar %v vs worlds %v", i, ss[i], ws[i])
+		}
+	}
+	// A repeat of the worlds request must hit its own entry.
+	if r := e.Rank(worlds); !r.Cached["reliability"] {
+		t.Fatal("identical worlds request missed the cache")
+	}
+}
+
 // TestTopKOptionDistinctCacheKey pins that K participates in the result
 // cache key: a top-k race only certifies the top K scores, so serving a
 // K=2 race from a K=5 (or fixed-budget) entry would hand out bounds

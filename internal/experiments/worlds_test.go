@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBitParallelAgreement runs the scalar-vs-worlds study on the quick
+// workload: the two estimators must agree within the CLT bound on every
+// answer, the top-5 sets must match on (nearly) every graph, and the
+// coin amortization the word packing exists for must actually show up.
+func TestBitParallelAgreement(t *testing.T) {
+	s := suite(t)
+	res, err := s.BitParallel(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graphs == 0 || res.Candidates == 0 {
+		t.Fatalf("empty workload: %+v", res)
+	}
+	if res.MaxAbsDiff > res.CLTBound {
+		t.Errorf("max score difference %v exceeds the 5σ bound %v", res.MaxAbsDiff, res.CLTBound)
+	}
+	// Near-eps ties can flip an order; wholesale disagreement cannot.
+	if res.Disagree > res.Graphs/4 {
+		t.Errorf("top-5 disagreement on %d/%d graphs", res.Disagree, res.Graphs)
+	}
+	// One mask per element-word replaces up to 64 scalar coins; lazy
+	// exploration differences eat some of that, but the amortization
+	// must be far above 1.
+	if res.CoinAmortization < 8 {
+		t.Errorf("coin amortization %.1fx, want well above 1", res.CoinAmortization)
+	}
+	// Worlds trials round up to whole words per graph.
+	if res.Worlds.Trials < res.Scalar.Trials {
+		t.Errorf("worlds simulated %d trials, scalar %d — rounding goes up, not down", res.Worlds.Trials, res.Scalar.Trials)
+	}
+	out := RenderWorlds(res)
+	for _, want := range []string{"Bit-parallel vs scalar", "coin amortization", "top-5 agreement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -64,6 +64,8 @@ func (p *Plan) ActiveMask(active []int, mask []bool) {
 // are accounted but no simulation runs — every active count stays 0,
 // which is the exact answer.
 func (p *Plan) ReliabilityCountsMasked(counts []int64, mask []bool, trials int, rng *prob.RNG, ops *SimOps) {
+	p.checkCounts(counts)
+	p.checkMask(mask)
 	if !mask[p.source] {
 		if ops != nil {
 			ops.Trials += int64(trials)

@@ -52,6 +52,49 @@ func BenchmarkCompiledTraversal1000(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledTraversal10000 is the scalar kernel at the paper's
+// full Theorem 3.1 budget — the baseline the bit-parallel estimator is
+// measured against (same plan, same trial count).
+func BenchmarkCompiledTraversal10000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.Reliability(scores, 10000, rng, nil)
+	}
+}
+
+// BenchmarkBitParallel1000 is the bit-parallel estimator on the
+// BenchmarkCompiledTraversal1000 workload (1000 trials → 16 words).
+func BenchmarkBitParallel1000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.ReliabilityWorlds(scores, 1000, rng, nil)
+	}
+}
+
+// BenchmarkBitParallel10000 simulates the full 10,000-trial budget 64
+// worlds at a time (157 words); compare BenchmarkCompiledTraversal10000.
+func BenchmarkBitParallel10000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.ReliabilityWorlds(scores, 10000, rng, nil)
+	}
+}
+
 // BenchmarkCompiledNaive1000 is the compiled all-coins baseline.
 func BenchmarkCompiledNaive1000(b *testing.B) {
 	plan := Compile(benchPlanGraph())

@@ -16,6 +16,7 @@ import "math"
 // (the automatic mode for cyclic graphs). Zero-alloc: score vectors come
 // from the plan's scratch pool.
 func (p *Plan) Propagation(scores []float64, iters int, tol float64, earlyExit bool) {
+	p.checkScores(scores)
 	sc := p.getScratch()
 	r, next := sc.scoreA, sc.scoreB
 	for i := range r {
@@ -57,6 +58,7 @@ func (p *Plan) Propagation(scores []float64, iters int, tol float64, earlyExit b
 // inner solve and writes per-answer scores into scores (length
 // NumAnswers). earlyExit/tol behave as in Propagation.
 func (p *Plan) Diffusion(scores []float64, iters int, tol float64, earlyExit bool) {
+	p.checkScores(scores)
 	sc := p.getScratch()
 	r, next := sc.scoreA, sc.scoreB
 	for i := range r {

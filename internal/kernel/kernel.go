@@ -36,6 +36,7 @@
 package kernel
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -210,8 +211,36 @@ func (p *Plan) Matches(qg *graph.QueryGraph) bool {
 // ScoresFromCounts converts per-node reach counts accumulated over
 // trials into per-answer scores. scores must have length NumAnswers.
 func (p *Plan) ScoresFromCounts(counts []int64, trials int, scores []float64) {
+	p.checkCounts(counts)
+	p.checkScores(scores)
 	for i, a := range p.answers {
 		scores[i] = float64(counts[a]) / float64(trials)
+	}
+}
+
+// checkScores validates a per-answer score buffer up front, so a
+// mis-sized slice fails with a clear message instead of an
+// index-out-of-range deep in an inner loop (or, worse, silently
+// scoring a prefix of the answer set).
+func (p *Plan) checkScores(scores []float64) {
+	if len(scores) != len(p.answers) {
+		panic(fmt.Sprintf("kernel: scores slice has length %d, want NumAnswers = %d (was the buffer sized for a different plan?)", len(scores), len(p.answers)))
+	}
+}
+
+// checkCounts validates a per-node counter buffer up front; see
+// checkScores.
+func (p *Plan) checkCounts(counts []int64) {
+	if len(counts) != p.n {
+		panic(fmt.Sprintf("kernel: counts slice has length %d, want NumNodes = %d (was the buffer sized for a different plan?)", len(counts), p.n))
+	}
+}
+
+// checkMask validates an active-subset mask buffer up front; see
+// checkScores.
+func (p *Plan) checkMask(mask []bool) {
+	if len(mask) != p.n {
+		panic(fmt.Sprintf("kernel: mask slice has length %d, want NumNodes = %d (was the mask built for a different plan?)", len(mask), p.n))
 	}
 }
 
@@ -243,6 +272,8 @@ type Scratch struct {
 	scoreA []float64 // iterative kernels: current / next score vectors
 	scoreB []float64
 	par    []parent // diffusion inner-solve buffer
+
+	ws *worldScratch // bit-parallel working set, nil until first worlds call
 }
 
 // parent is one incoming contribution to the diffusion inner solve.

@@ -22,6 +22,7 @@ type SimOps struct {
 // plan's scratch pool. ops, when non-nil, accumulates operation
 // counters.
 func (p *Plan) Reliability(scores []float64, trials int, rng *prob.RNG, ops *SimOps) {
+	p.checkScores(scores)
 	sc := p.getScratch()
 	sc.resetCounts()
 	p.traverse(sc, trials, rng, ops)
@@ -36,6 +37,7 @@ func (p *Plan) Reliability(scores []float64, trials int, rng *prob.RNG, ops *Sim
 // that aggregate across batches (adaptive stopping) or shards (parallel
 // workers).
 func (p *Plan) ReliabilityCounts(counts []int64, trials int, rng *prob.RNG, ops *SimOps) {
+	p.checkCounts(counts)
 	sc := p.getScratch()
 	sc.resetCounts()
 	p.traverse(sc, trials, rng, ops)
@@ -182,6 +184,7 @@ func (p *Plan) traverseFast(sc *Scratch, trials int, rng *prob.RNG) {
 // reference stream order), then connectivity is tested by DFS. scores
 // must have length NumAnswers.
 func (p *Plan) Naive(scores []float64, trials int, rng *prob.RNG, ops *SimOps) {
+	p.checkScores(scores)
 	sc := p.getScratch()
 	sc.nextEpoch(trials)
 	sc.resetCounts()

@@ -35,6 +35,13 @@ func (x *xrng) next() float64 {
 // coinBits), keeping the draw→branch critical path free of int→float
 // conversion and floating-point arithmetic.
 func (x *xrng) nextBits() uint64 {
+	return x.nextWord() >> 11
+}
+
+// nextWord returns the next full 64 pseudo-random bits, identical to
+// prob.RNG.Uint64. The bit-parallel kernel consumes whole words — one
+// independent uniform bit per simulated world and lane.
+func (x *xrng) nextWord() uint64 {
 	r := x.s1 * 5
 	r = ((r << 7) | (r >> 57)) * 9
 	t := x.s1 << 17
@@ -44,5 +51,5 @@ func (x *xrng) nextBits() uint64 {
 	x.s0 ^= x.s3
 	x.s2 ^= t
 	x.s3 = (x.s3 << 45) | (x.s3 >> 19)
-	return r >> 11
+	return r
 }

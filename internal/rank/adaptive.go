@@ -41,6 +41,13 @@ type AdaptiveMonteCarlo struct {
 	Seed uint64
 	// Reduce applies the Section 3.1.2 reductions first.
 	Reduce bool
+	// Worlds runs the simulation batches on the bit-parallel kernel:
+	// each batch is rounded UP to a multiple of kernel.WordSize (a
+	// fractional word costs the same as a full one), so the reported
+	// trial count is always a word multiple and the final batch may
+	// overshoot MaxTrials by at most WordSize−1 trials. Statistically
+	// equivalent to the scalar batches; the RNG stream differs.
+	Worlds bool
 	// Plan optionally supplies a pre-compiled kernel plan for the query
 	// graph (ignored under Reduce).
 	Plan *kernel.Plan
@@ -123,7 +130,13 @@ func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64
 		if trials+b > maxTrials {
 			b = maxTrials - trials // honor the cap exactly
 		}
-		plan.ReliabilityCounts(total, b, rng, &so)
+		if a.Worlds {
+			words := kernel.WorldWords(b)
+			plan.ReliabilityCountsWorlds(total, words, rng, &so)
+			b = words * kernel.WordSize // word-multiple rounding
+		} else {
+			plan.ReliabilityCounts(total, b, rng, &so)
+		}
 		trials += b
 		plan.ScoresFromCounts(total, trials, scores)
 		if a.certified(scores, sorted, trials, eps, delta) {
@@ -187,5 +200,5 @@ func sortFloatsDesc(xs []float64) {
 // String describes the configuration, for logs.
 func (a *AdaptiveMonteCarlo) String() string {
 	eps, delta, batch, maxTrials := a.params()
-	return fmt.Sprintf("adaptive-mc(eps=%g delta=%g batch=%d max=%d topk=%d)", eps, delta, batch, maxTrials, a.TopK)
+	return fmt.Sprintf("adaptive-mc(eps=%g delta=%g batch=%d max=%d topk=%d worlds=%t)", eps, delta, batch, maxTrials, a.TopK, a.Worlds)
 }

@@ -36,6 +36,13 @@ type AllOptions struct {
 	// Adaptive; Trials caps the per-candidate trial count. Only the top
 	// K scores (and their boundary) are certified.
 	TopK int
+	// Worlds runs reliability simulation on the bit-parallel kernel —
+	// 64 possible worlds per machine word, Trials (and adaptive/racer
+	// batches) rounded up to multiples of kernel.WordSize. Composes with
+	// MCWorkers, Adaptive and TopK. Scores are statistically, not
+	// bitwise, equivalent to the scalar estimators: the RNG stream
+	// differs, like changing the seed.
+	Worlds bool
 	// Sequential disables the per-method parallelism, evaluating the five
 	// semantics one after another. Scores are identical either way; the
 	// flag exists for benchmarking and for callers that are already
@@ -59,12 +66,12 @@ func (o AllOptions) ranker(name string) (Ranker, bool) {
 			return Exact{}, true
 		}
 		if o.TopK > 0 {
-			return &TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: o.Plan}, true
+			return &TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: o.Plan}, true
 		}
 		if o.Adaptive {
-			return &AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Plan: o.Plan}, true
+			return &AdaptiveMonteCarlo{Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: o.Plan}, true
 		}
-		return &MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.MCWorkers, Plan: o.Plan}, true
+		return &MonteCarlo{Trials: o.Trials, Seed: o.Seed, Reduce: o.Reduce, Workers: o.MCWorkers, Worlds: o.Worlds, Plan: o.Plan}, true
 	case "propagation":
 		return &Propagation{Plan: o.Plan}, true
 	case "diffusion":

@@ -51,6 +51,15 @@ type MonteCarlo struct {
 	// Results are deterministic for a fixed (Seed, Workers) pair; 0 or 1
 	// runs serially. Only the traversal estimator parallelizes.
 	Workers int
+	// Worlds switches to the bit-parallel estimator: 64 possible worlds
+	// are simulated per machine word over the compiled plan, with Trials
+	// rounded UP to the next multiple of kernel.WordSize. Statistically
+	// equivalent to the scalar traversal estimator (the per-element coin
+	// probabilities are identical), but the RNG stream differs, so
+	// scores for a fixed seed are NOT bit-identical to the scalar
+	// kernel's. Composes with Workers (words are sharded); ignored under
+	// Naive.
+	Worlds bool
 	// Plan, when non-nil and structurally matching the query graph,
 	// skips plan compilation — RankAll and the engine share one compiled
 	// plan across methods and requests this way. Ignored under Reduce
@@ -138,6 +147,13 @@ func (m *MonteCarlo) simulate(plan *kernel.Plan, trials int, ops *OpStats) []flo
 	switch {
 	case m.Naive:
 		plan.Naive(scores, trials, prob.NewRNG(m.Seed), so)
+	case m.Worlds && m.Workers > 1:
+		sim := parallelWorldsMC(plan, trials, m.Seed, m.Workers, scores)
+		if so != nil {
+			*so = sim
+		}
+	case m.Worlds:
+		plan.ReliabilityWorlds(scores, trials, prob.NewRNG(m.Seed), so)
 	case m.Workers > 1:
 		sim := parallelTraversalMC(plan, trials, m.Seed, m.Workers, scores)
 		if so != nil {
@@ -157,14 +173,34 @@ func (m *MonteCarlo) simulate(plan *kernel.Plan, trials int, ops *OpStats) []flo
 // traversal kernel per shard, and merges the per-node reach counts into
 // scores.
 func parallelTraversalMC(plan *kernel.Plan, trials int, seed uint64, workers int, scores []float64) kernel.SimOps {
-	if workers > trials {
-		workers = trials
+	return parallelShardedMC(plan, trials, trials, seed, workers, scores,
+		(*kernel.Plan).ReliabilityCounts)
+}
+
+// parallelWorldsMC shards the word-trials of the bit-parallel estimator
+// the same way. The word — not the trial — is the unit of division, so
+// every shard simulates whole 64-world batches and the combined trial
+// count is words·64.
+func parallelWorldsMC(plan *kernel.Plan, trials int, seed uint64, workers int, scores []float64) kernel.SimOps {
+	words := kernel.WorldWords(trials)
+	return parallelShardedMC(plan, words, words*kernel.WordSize, seed, workers, scores,
+		(*kernel.Plan).ReliabilityCountsWorlds)
+}
+
+// parallelShardedMC splits units of simulation work (scalar trials or
+// 64-world words) over workers goroutines — each with a deterministic
+// prob.StreamSeed stream — runs sim per shard, merges the per-node
+// reach counts, and normalizes scores by totalTrials.
+func parallelShardedMC(plan *kernel.Plan, units, totalTrials int, seed uint64, workers int, scores []float64,
+	sim func(*kernel.Plan, []int64, int, *prob.RNG, *kernel.SimOps)) kernel.SimOps {
+	if workers > units {
+		workers = units
 	}
 	counts := make([][]int64, workers)
 	shardOps := make([]kernel.SimOps, workers)
 	var wg sync.WaitGroup
-	base := trials / workers
-	extra := trials % workers
+	base := units / workers
+	extra := units % workers
 	for w := 0; w < workers; w++ {
 		share := base
 		if w < extra {
@@ -176,7 +212,7 @@ func parallelTraversalMC(plan *kernel.Plan, trials int, seed uint64, workers int
 			// Distinct, deterministic stream per worker.
 			rng := prob.NewRNG(prob.StreamSeed(seed, uint64(w)))
 			c := make([]int64, plan.NumNodes())
-			plan.ReliabilityCounts(c, share, rng, &shardOps[w])
+			sim(plan, c, share, rng, &shardOps[w])
 			counts[w] = c
 		}(w, share)
 	}
@@ -187,7 +223,7 @@ func parallelTraversalMC(plan *kernel.Plan, trials int, seed uint64, workers int
 			total[i] += v
 		}
 	}
-	plan.ScoresFromCounts(total, trials, scores)
+	plan.ScoresFromCounts(total, totalTrials, scores)
 	var ops kernel.SimOps
 	for w := range shardOps {
 		ops.Trials += shardOps[w].Trials

@@ -52,6 +52,13 @@ type TopKRacer struct {
 	// Reduce applies the Section 3.1.2 reductions first and races on the
 	// reduced graph.
 	Reduce bool
+	// Worlds runs the race's simulation batches on the bit-parallel
+	// masked kernel (ReliabilityCountsMaskedWorlds): batches round UP to
+	// multiples of kernel.WordSize, mirroring AdaptiveMonteCarlo.Worlds,
+	// and elimination feedback (ActiveMask) applies unchanged. The
+	// elimination schedule is still deterministic for a fixed seed, but
+	// differs from the scalar racer's (different RNG stream).
+	Worlds bool
 	// Plan optionally supplies a pre-compiled kernel plan for the query
 	// graph (ignored under Reduce).
 	Plan *kernel.Plan
@@ -201,7 +208,13 @@ func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
 		if trials+b > maxTrials {
 			b = maxTrials - trials // honor the cap exactly
 		}
-		plan.ReliabilityCountsMasked(counts, mask, b, rng, &so)
+		if r.Worlds {
+			words := kernel.WorldWords(b)
+			plan.ReliabilityCountsMaskedWorlds(counts, mask, words, rng, &so)
+			b = words * kernel.WordSize // word-multiple rounding
+		} else {
+			plan.ReliabilityCountsMasked(counts, mask, b, rng, &so)
+		}
 		trials += b
 		rs.Rounds++
 
@@ -330,7 +343,7 @@ func confRadius(mean float64, n int, delta float64) float64 {
 // String describes the configuration, for logs.
 func (r *TopKRacer) String() string {
 	k, eps, delta, batch, maxTrials := r.params(maxInt)
-	return fmt.Sprintf("topk-racer(k=%d eps=%g delta=%g batch=%d max=%d)", k, eps, delta, batch, maxTrials)
+	return fmt.Sprintf("topk-racer(k=%d eps=%g delta=%g batch=%d max=%d worlds=%t)", k, eps, delta, batch, maxTrials, r.Worlds)
 }
 
 const maxInt = int(^uint(0) >> 1)
