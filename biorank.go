@@ -95,6 +95,17 @@ type Options struct {
 	// so a fixed seed does not reproduce the scalar scores bit for bit
 	// (it reproduces the bit-parallel scores bit for bit instead).
 	Worlds bool
+	// Planner replaces the Reliability estimator with the hybrid
+	// exact/Monte-Carlo planner: every answer is probed for exact
+	// evaluation (the Section 3.1.3 closed solution, with a small
+	// factoring budget on top), answers that resolve exactly enter the
+	// ranking with zero-width confidence intervals and zero simulation
+	// cost, and only the irreducible remainder is estimated by Monte
+	// Carlo. Ranked answers then carry per-answer Lo/Hi bounds and an
+	// Exact marker. Takes precedence over TopK and Adaptive (TopK sets
+	// the planner's certified k); Reduce is ignored, since the probe
+	// already reduces each answer's subgraph.
+	Planner bool
 }
 
 // ranker builds the rank.Ranker for a method, running on plan when the
@@ -104,6 +115,9 @@ func (o Options) ranker(m Method, plan *kernel.Plan) (rank.Ranker, error) {
 	case Reliability:
 		if o.Exact {
 			return rank.Exact{}, nil
+		}
+		if o.Planner {
+			return &rank.HybridPlanner{K: o.TopK, Seed: o.Seed, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}, nil
 		}
 		if o.TopK > 0 {
 			return &rank.TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}, nil
@@ -237,6 +251,17 @@ type ScoredAnswer struct {
 	// RankLo and RankHi bound the answer's rank across tie-breakings
 	// (equal when the score is unique).
 	RankLo, RankHi int
+	// Lo and Hi bound the true score when the estimator reports
+	// per-answer uncertainty (the hybrid planner does; see HasBounds).
+	// Exact answers have Lo == Score == Hi.
+	Lo, Hi float64
+	// HasBounds reports whether Lo/Hi are meaningful for this answer;
+	// estimators without uncertainty reporting leave it false (and Lo/Hi
+	// zero).
+	HasBounds bool
+	// Exact marks answers whose score was computed exactly (closed
+	// solution or factoring) rather than estimated by simulation.
+	Exact bool
 }
 
 // usesPlan reports whether method m executes on a compiled kernel plan
@@ -244,7 +269,13 @@ type ScoredAnswer struct {
 func (o Options) usesPlan(m Method) bool {
 	switch m {
 	case Reliability:
-		return !o.Exact && !o.Reduce
+		if o.Exact {
+			return false
+		}
+		if o.Planner {
+			return true
+		}
+		return !o.Reduce
 	case Propagation, Diffusion:
 		return true
 	default:
@@ -267,7 +298,7 @@ func (a *Answers) Rank(m Method, o Options) ([]ScoredAnswer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return scoredAnswers(a.qg, res.Scores), nil
+	return scoredAnswers(a.qg, res), nil
 }
 
 // TopKAnswer is one certified top-k answer: its identity, score
@@ -283,6 +314,10 @@ type TopKAnswer struct {
 	// Trials is the number of simulation trials this candidate
 	// participated in before the race ended.
 	Trials int64
+	// Exact marks answers the hybrid planner solved exactly (closed
+	// solution or factoring); their interval is zero width and Trials is
+	// 0. Always false without Options.Planner.
+	Exact bool
 }
 
 // TopKResult is the outcome of a top-k race: the certified top k in
@@ -302,6 +337,9 @@ type TopKResult struct {
 	// Pruned counts candidates eliminated before the race ended; Rounds
 	// counts simulation batches.
 	Pruned, Rounds int
+	// ExactAnswers counts candidates the hybrid planner solved exactly
+	// (zero without Options.Planner).
+	ExactAnswers int
 }
 
 // TopK races the answer set and returns the certified top k by
@@ -310,32 +348,59 @@ type TopKResult struct {
 // successively eliminated, and the Monte Carlo kernel stops simulating
 // the parts of the query graph only they needed. Options.Trials caps
 // the per-candidate trial count; Options.Seed fixes the race
-// deterministically. For the full ranking (all answers, no bounds) use
-// Rank or RankAll.
+// deterministically. With Options.Planner the answers are first probed
+// for exact evaluation: exact answers enter the race as zero-width
+// intervals (Exact true, Trials 0) and only the irreducible remainder
+// is simulated. For the full ranking (all answers, no bounds) use Rank
+// or RankAll.
 func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("biorank: top-k rank requires k >= 1, got %d", k)
 	}
 	var plan *kernel.Plan
-	if !o.Reduce {
+	if o.Planner || !o.Reduce {
 		plan = a.planFor()
 	}
-	racer := &rank.TopKRacer{K: k, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}
-	res, rs, err := racer.RankWithRace(a.qg)
-	if err != nil {
-		return nil, err
+	var (
+		res   rank.Result
+		rs    rank.RaceStats
+		exact []bool
+		err   error
+		out   = &TopKResult{}
+	)
+	if o.Planner {
+		planner := &rank.HybridPlanner{K: k, Seed: o.Seed, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}
+		var ps rank.PlannerStats
+		res, ps, err = planner.RankWithStats(a.qg)
+		if err != nil {
+			return nil, err
+		}
+		rs = ps.RaceStats
+		exact = res.Exact
+		out.ExactAnswers = ps.ExactAnswers
+	} else {
+		racer := &rank.TopKRacer{K: k, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}
+		res, rs, err = racer.RankWithRace(a.qg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	order := rank.ArgsortDesc(res.Scores)
 	if k > len(order) {
 		k = len(order)
 	}
-	out := &TopKResult{
-		Answers:         make([]TopKAnswer, k),
-		Candidates:      len(res.Scores),
-		Trials:          rs.Trials,
-		CandidateTrials: rs.CandidateTrials(),
-		Pruned:          rs.Pruned,
-		Rounds:          rs.Rounds,
+	out.Answers = make([]TopKAnswer, k)
+	out.Candidates = len(res.Scores)
+	out.Trials = rs.Trials
+	out.CandidateTrials = rs.CandidateTrials()
+	out.Pruned = rs.Pruned
+	out.Rounds = rs.Rounds
+	// The planner reports tighter score intervals (zero-width for exact
+	// answers, Wilson for estimated ones) than the racer's running
+	// Hoeffding bounds; prefer them when present.
+	loS, hiS := rs.Lo, rs.Hi
+	if res.Lo != nil && res.Hi != nil {
+		loS, hiS = res.Lo, res.Hi
 	}
 	for i := 0; i < k; i++ {
 		idx := order[i]
@@ -344,9 +409,12 @@ func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
 			Kind:   n.Kind,
 			Label:  n.Label,
 			Score:  res.Scores[idx],
-			Lo:     rs.Lo[idx],
-			Hi:     rs.Hi[idx],
+			Lo:     loS[idx],
+			Hi:     hiS[idx],
 			Trials: rs.TrialsPerCandidate[idx],
+		}
+		if exact != nil {
+			out.Answers[i].Exact = exact[idx]
 		}
 	}
 	return out, nil
@@ -372,6 +440,7 @@ func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnsw
 		Adaptive:  o.Adaptive,
 		TopK:      o.TopK,
 		Worlds:    o.Worlds,
+		Planner:   o.Planner,
 		Methods:   names,
 	}
 	requested := names
@@ -390,19 +459,29 @@ func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnsw
 	}
 	out := make(map[Method][]ScoredAnswer, len(results))
 	for name, res := range results {
-		out[Method(name)] = scoredAnswers(a.qg, res.Scores)
+		out[Method(name)] = scoredAnswers(a.qg, res)
 	}
 	return out, nil
 }
 
-// scoredAnswers converts a per-answer score vector into the sorted
-// public representation.
-func scoredAnswers(qg *graph.QueryGraph, scores []float64) []ScoredAnswer {
+// scoredAnswers converts a ranking result into the sorted public
+// representation, carrying the per-answer uncertainty payload through
+// when the estimator reported one.
+func scoredAnswers(qg *graph.QueryGraph, res rank.Result) []ScoredAnswer {
+	scores := res.Scores
+	hasBounds := len(res.Lo) == len(scores) && len(res.Hi) == len(scores)
 	out := make([]ScoredAnswer, len(qg.Answers))
 	for i, id := range qg.Answers {
 		n := qg.Node(id)
 		lo, hi := metrics.RankInterval(scores, i)
 		out[i] = ScoredAnswer{Kind: n.Kind, Label: n.Label, Score: scores[i], RankLo: lo, RankHi: hi}
+		if hasBounds {
+			out[i].Lo, out[i].Hi = res.Lo[i], res.Hi[i]
+			out[i].HasBounds = true
+		}
+		if len(res.Exact) == len(scores) {
+			out[i].Exact = res.Exact[i]
+		}
 	}
 	sortByScore(out)
 	return out
@@ -580,6 +659,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 				Adaptive:  r.Options.Adaptive,
 				TopK:      r.Options.TopK,
 				Worlds:    r.Options.Worlds,
+				Planner:   r.Options.Planner,
 			},
 		}
 	}
@@ -593,7 +673,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 		out[i].Rankings = make(map[Method][]ScoredAnswer, len(resp.Results))
 		out[i].Cached = make(map[Method]bool, len(resp.Cached))
 		for name, res := range resp.Results {
-			out[i].Rankings[Method(name)] = scoredAnswers(resp.Graph, res.Scores)
+			out[i].Rankings[Method(name)] = scoredAnswers(resp.Graph, res)
 			out[i].Cached[Method(name)] = resp.Cached[name]
 		}
 	}

@@ -25,6 +25,12 @@
 // more than the threshold; slower-but-within-threshold benchmarks only
 // produce a soft-fail comment on stderr. Benchmarks in only one of the
 // two runs are ignored by the gate.
+//
+// -max-allocs-regress gates allocs/op the same way (baseline = the
+// LOWEST allocs_per_op recorded for the name anywhere in the baseline
+// file). Benchmarks whose baseline allocation count is zero are skipped
+// by the allocs gate — any ratio against zero is meaningless — as are
+// baseline entries that never recorded allocs at all.
 package main
 
 import (
@@ -58,6 +64,12 @@ type Delta struct {
 	NsPerOp         float64 `json:"ns_per_op"`
 	// Ratio is fresh/baseline: 1.0 unchanged, 2.0 twice as slow.
 	Ratio float64 `json:"ratio"`
+	// BaselineAllocsPerOp / AllocsPerOp / AllocsRatio mirror the ns/op
+	// triple for the allocation count. Omitted when the baseline never
+	// recorded allocs for this benchmark or recorded zero.
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	AllocsPerOp         float64 `json:"allocs_per_op,omitempty"`
+	AllocsRatio         float64 `json:"allocs_ratio,omitempty"`
 	// Gated records whether the benchmark matched the -gate pattern and
 	// therefore participates in the hard-fail decision.
 	Gated bool `json:"gated,omitempty"`
@@ -67,6 +79,7 @@ func main() {
 	label := flag.String("label", "", "optional label recorded in the output (e.g. a commit or \"before\"/\"after\")")
 	baseline := flag.String("baseline", "", "committed BENCH_rank.json to diff the fresh run against (adds a \"delta\" section)")
 	maxRegress := flag.Float64("max-regress", -1, "fail (exit 3) when a -gate benchmark's ns/op grew by more than this fraction over the baseline (e.g. 0.25 = +25%); negative disables the gate")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", -1, "fail (exit 3) when a -gate benchmark's allocs/op grew by more than this fraction over the baseline; negative disables the allocs gate, baseline-zero benchmarks are skipped")
 	gate := flag.String("gate", "^Benchmark(Compiled|BitParallel)", "regexp selecting the benchmarks the -max-regress gate applies to")
 	flag.Parse()
 
@@ -132,15 +145,20 @@ func main() {
 		deltas := map[string]*Delta{}
 		gatedSeen := 0
 		for name, r := range acc {
-			bns, ok := base[name]
-			if !ok || bns <= 0 {
+			b, ok := base[name]
+			if !ok || b.NsPerOp <= 0 {
 				continue
 			}
 			d := &Delta{
-				BaselineNsPerOp: bns,
+				BaselineNsPerOp: b.NsPerOp,
 				NsPerOp:         r.NsPerOp,
-				Ratio:           r.NsPerOp / bns,
+				Ratio:           r.NsPerOp / b.NsPerOp,
 				Gated:           gateRe.MatchString(name),
+			}
+			if b.AllocsPerOp > 0 {
+				d.BaselineAllocsPerOp = b.AllocsPerOp
+				d.AllocsPerOp = r.AllocsPerOp
+				d.AllocsRatio = r.AllocsPerOp / b.AllocsPerOp
 			}
 			deltas[name] = d
 			if d.Gated {
@@ -160,12 +178,22 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bench2json: note: %s is %.0f%% slower than baseline (within the %.0f%% budget)\n",
 					name, 100*(d.Ratio-1), 100**maxRegress)
 			}
+			if *maxAllocsRegress >= 0 && d.BaselineAllocsPerOp > 0 && d.AllocsRatio > 1+*maxAllocsRegress {
+				if d.Gated {
+					regressed = true
+					fmt.Fprintf(os.Stderr, "bench2json: REGRESSION %s: %.1f allocs/op vs baseline %.1f (%.0f%% more, threshold %.0f%%)\n",
+						name, d.AllocsPerOp, d.BaselineAllocsPerOp, 100*(d.AllocsRatio-1), 100**maxAllocsRegress)
+				} else {
+					fmt.Fprintf(os.Stderr, "bench2json: note: ungated benchmark %s allocates %.0f%% more than baseline\n",
+						name, 100*(d.AllocsRatio-1))
+				}
+			}
 		}
 		out["delta"] = deltas
 		out["baseline_file"] = *baseline
 		// A gate that matches nothing is a disabled gate, not a passing
 		// one: renamed benchmarks or a garbled bench run must fail loudly.
-		if *maxRegress >= 0 && gatedSeen == 0 {
+		if (*maxRegress >= 0 || *maxAllocsRegress >= 0) && gatedSeen == 0 {
 			fmt.Fprintf(os.Stderr, "bench2json: gate %q matched no benchmark present in both the fresh run and %s — the regression gate would be a no-op\n", *gate, *baseline)
 			os.Exit(1)
 		}
@@ -182,12 +210,24 @@ func main() {
 	}
 }
 
+// baseEntry is one benchmark's best baseline measurements: the fastest
+// ns/op and the lowest allocs/op recorded for the name anywhere in the
+// baseline file. AllocsPerOp is 0 when no section recorded allocations
+// (or the best was genuinely zero); either way the allocs gate skips
+// the benchmark.
+type baseEntry struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	hasAllocs   bool
+}
+
 // loadBaseline collects every benchmark measurement in a committed
 // artifact, walking the JSON tree so all sections (before/after,
 // topk_racer, bit_parallel, future ones) contribute. When a benchmark
-// name appears in several sections the FASTEST ns/op wins: the bar to
-// clear is the best the repository has ever recorded for that name.
-func loadBaseline(path string) (map[string]float64, error) {
+// name appears in several sections the FASTEST ns/op (and lowest
+// allocs/op) wins: the bar to clear is the best the repository has ever
+// recorded for that name.
+func loadBaseline(path string) (map[string]baseEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
@@ -196,7 +236,7 @@ func loadBaseline(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(data, &root); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
-	out := map[string]float64{}
+	out := map[string]baseEntry{}
 	var walk func(v any)
 	walk = func(v any) {
 		m, ok := v.(map[string]any)
@@ -207,9 +247,17 @@ func loadBaseline(path string) (map[string]float64, error) {
 			if strings.HasPrefix(k, "Benchmark") {
 				if entry, ok := child.(map[string]any); ok {
 					if ns, ok := entry["ns_per_op"].(float64); ok && ns > 0 {
-						if old, seen := out[k]; !seen || ns < old {
-							out[k] = ns
+						e, seen := out[k]
+						if !seen || ns < e.NsPerOp {
+							e.NsPerOp = ns
 						}
+						if allocs, ok := entry["allocs_per_op"].(float64); ok && allocs >= 0 {
+							if !e.hasAllocs || allocs < e.AllocsPerOp {
+								e.AllocsPerOp = allocs
+							}
+							e.hasAllocs = true
+						}
+						out[k] = e
 						continue
 					}
 				}

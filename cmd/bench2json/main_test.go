@@ -13,9 +13,9 @@ func TestLoadBaselineWalksAllSections(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	blob := `{
 	  "note": "text",
-	  "before": {"benchmarks": {"BenchmarkX": {"ns_per_op": 200, "samples": 3}}},
+	  "before": {"benchmarks": {"BenchmarkX": {"ns_per_op": 200, "allocs_per_op": 5000, "samples": 3}}},
 	  "after": {"benchmarks": {
-	    "BenchmarkX": {"ns_per_op": 100, "samples": 3},
+	    "BenchmarkX": {"ns_per_op": 100, "allocs_per_op": 40, "samples": 3},
 	    "BenchmarkY": {"ns_per_op": 50, "samples": 3}
 	  }},
 	  "extra": {"deeper": {"BenchmarkZ": {"ns_per_op": 7}}},
@@ -28,13 +28,16 @@ func TestLoadBaselineWalksAllSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := base["BenchmarkX"]; got != 100 {
+	if got := base["BenchmarkX"].NsPerOp; got != 100 {
 		t.Errorf("BenchmarkX baseline = %v, want the fastest section's 100", got)
 	}
-	if got := base["BenchmarkY"]; got != 50 {
-		t.Errorf("BenchmarkY baseline = %v, want 50", got)
+	if got := base["BenchmarkX"].AllocsPerOp; got != 40 {
+		t.Errorf("BenchmarkX allocs baseline = %v, want the lowest section's 40", got)
 	}
-	if got := base["BenchmarkZ"]; got != 7 {
+	if got := base["BenchmarkY"]; got.NsPerOp != 50 || got.hasAllocs {
+		t.Errorf("BenchmarkY baseline = %+v, want ns 50 with no allocs recorded", got)
+	}
+	if got := base["BenchmarkZ"].NsPerOp; got != 7 {
 		t.Errorf("BenchmarkZ baseline = %v, want 7 (deeply nested)", got)
 	}
 	if _, ok := base["BenchmarkBroken"]; ok {

@@ -14,17 +14,26 @@
 //	              "worlds" selects the bit-parallel Monte Carlo estimator
 //	              (64 worlds per machine word, trials rounded up to a
 //	              multiple of 64; statistically equivalent to the scalar
-//	              estimator but on a different RNG stream).
+//	              estimator but on a different RNG stream). "planner"
+//	              selects the hybrid exact/Monte-Carlo planner; ranked
+//	              answers then carry "lo"/"hi" confidence bounds and an
+//	              "exact" marker.
 //	POST /rank    {"graph":<query-graph JSON>,"methods":[...],"trials":...}
 //	              Ranks a caller-supplied serialized query graph (the
 //	              format written by biorank -json / Answers.MarshalJSON).
+//	              Accepts "planner" like /query.
 //	POST /topk    {"protein":"ABCC8","k":5,"trials":...,"seed":...}
 //	              Races the answer set with the successive-elimination
 //	              top-k ranker and returns only the certified top k,
 //	              each with its confidence interval [lo, hi] and trial
 //	              count, plus the race telemetry (candidates, pruned,
 //	              rounds, candidateTrials). GET /topk?protein=ABCC8&k=5
-//	              is also accepted.
+//	              is also accepted. With "planner" answers solved exactly
+//	              are marked "exact" (zero-width interval, zero trials)
+//	              and the response reports "exactAnswers";
+//	              "order":"lower" re-sorts the certified top k by the
+//	              interval lower bound (a risk-averse presentation
+//	              order).
 //	GET  /stats   Engine result- and plan-cache counters and server
 //	              configuration.
 //	GET  /healthz Liveness probe.
@@ -44,6 +53,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -132,10 +142,11 @@ type queryRequest struct {
 	Adaptive bool     `json:"adaptive,omitempty"`
 	TopK     int      `json:"topk,omitempty"`
 	Worlds   bool     `json:"worlds,omitempty"`
+	Planner  bool     `json:"planner,omitempty"`
 }
 
 func (q queryRequest) options() biorank.Options {
-	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive, TopK: q.TopK, Worlds: q.Worlds}
+	return biorank.Options{Trials: q.Trials, Seed: q.Seed, Reduce: q.Reduce, Exact: q.Exact, Workers: q.Workers, Adaptive: q.Adaptive, TopK: q.TopK, Worlds: q.Worlds, Planner: q.Planner}
 }
 
 func (q queryRequest) methods() []biorank.Method {
@@ -146,14 +157,19 @@ func (q queryRequest) methods() []biorank.Method {
 	return out
 }
 
-// scoredAnswer is the wire form of one ranked answer.
+// scoredAnswer is the wire form of one ranked answer. Lo/Hi/Exact are
+// present only when the estimator reported per-answer uncertainty (the
+// hybrid planner).
 type scoredAnswer struct {
-	Kind   string  `json:"kind"`
-	Label  string  `json:"label"`
-	Name   string  `json:"name,omitempty"`
-	Score  float64 `json:"score"`
-	RankLo int     `json:"rankLo"`
-	RankHi int     `json:"rankHi"`
+	Kind   string   `json:"kind"`
+	Label  string   `json:"label"`
+	Name   string   `json:"name,omitempty"`
+	Score  float64  `json:"score"`
+	RankLo int      `json:"rankLo"`
+	RankHi int      `json:"rankHi"`
+	Lo     *float64 `json:"lo,omitempty"`
+	Hi     *float64 `json:"hi,omitempty"`
+	Exact  bool     `json:"exact,omitempty"`
 }
 
 // queryResult is the wire form of one ranking response.
@@ -168,7 +184,11 @@ type queryResult struct {
 func toWire(sa []biorank.ScoredAnswer, named bool) []scoredAnswer {
 	out := make([]scoredAnswer, len(sa))
 	for i, a := range sa {
-		out[i] = scoredAnswer{Kind: a.Kind, Label: a.Label, Score: a.Score, RankLo: a.RankLo, RankHi: a.RankHi}
+		out[i] = scoredAnswer{Kind: a.Kind, Label: a.Label, Score: a.Score, RankLo: a.RankLo, RankHi: a.RankHi, Exact: a.Exact}
+		if a.HasBounds {
+			lo, hi := a.Lo, a.Hi
+			out[i].Lo, out[i].Hi = &lo, &hi
+		}
 		if named {
 			out[i].Name = biorank.FunctionName(a.Label)
 		}
@@ -223,7 +243,7 @@ func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
 		if m := q.Get("methods"); m != "" {
 			req.Methods = strings.Split(m, ",")
 		}
-		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact, "adaptive": &req.Adaptive, "worlds": &req.Worlds} {
+		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "exact": &req.Exact, "adaptive": &req.Adaptive, "worlds": &req.Worlds, "planner": &req.Planner} {
 			if v := q.Get(key); v != "" {
 				b, err := strconv.ParseBool(v)
 				if err != nil {
@@ -278,6 +298,7 @@ type rankRequest struct {
 	Workers  int             `json:"workers,omitempty"`
 	Adaptive bool            `json:"adaptive,omitempty"`
 	Worlds   bool            `json:"worlds,omitempty"`
+	Planner  bool            `json:"planner,omitempty"`
 }
 
 // handleRank ranks a caller-supplied query graph under the requested
@@ -301,7 +322,7 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad graph: %v", err))
 		return
 	}
-	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers, Adaptive: req.Adaptive, Worlds: req.Worlds}
+	opts := biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Exact: req.Exact, Workers: req.Workers, Adaptive: req.Adaptive, Worlds: req.Worlds, Planner: req.Planner}
 	methods := make([]biorank.Method, len(req.Methods))
 	for i, m := range req.Methods {
 		methods[i] = biorank.Method(m)
@@ -324,7 +345,8 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// topkRequest is the wire form of /topk.
+// topkRequest is the wire form of /topk. Order "lower" re-sorts the
+// certified top k by interval lower bound (descending, stable).
 type topkRequest struct {
 	Protein string `json:"protein"`
 	K       int    `json:"k,omitempty"`
@@ -332,6 +354,8 @@ type topkRequest struct {
 	Seed    uint64 `json:"seed,omitempty"`
 	Reduce  bool   `json:"reduce,omitempty"`
 	Worlds  bool   `json:"worlds,omitempty"`
+	Planner bool   `json:"planner,omitempty"`
+	Order   string `json:"order,omitempty"`
 }
 
 // topkAnswer is one certified top-k answer on the wire, with its
@@ -344,6 +368,7 @@ type topkAnswer struct {
 	Lo     float64 `json:"lo"`
 	Hi     float64 `json:"hi"`
 	Trials int64   `json:"trials"`
+	Exact  bool    `json:"exact,omitempty"`
 }
 
 // handleTopK races a protein's answer set with the successive-
@@ -373,7 +398,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			}
 			req.Seed = n
 		}
-		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "worlds": &req.Worlds} {
+		for key, dst := range map[string]*bool{"reduce": &req.Reduce, "worlds": &req.Worlds, "planner": &req.Planner} {
 			if v := q.Get(key); v != "" {
 				b, err := strconv.ParseBool(v)
 				if err != nil {
@@ -383,6 +408,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 				*dst = b
 			}
 		}
+		req.Order = q.Get("order")
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
@@ -403,12 +429,16 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 1, got %d", req.K))
 		return
 	}
+	if req.Order != "" && req.Order != "score" && req.Order != "lower" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("order must be \"score\" or \"lower\", got %q", req.Order))
+		return
+	}
 	ans, err := s.sys.Query(req.Protein)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	res, err := ans.TopK(req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Worlds: req.Worlds})
+	res, err := ans.TopK(req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Worlds: req.Worlds, Planner: req.Planner})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -423,7 +453,14 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			Lo:     a.Lo,
 			Hi:     a.Hi,
 			Trials: a.Trials,
+			Exact:  a.Exact,
 		}
+	}
+	if req.Order == "lower" {
+		// Risk-averse presentation: within the certified top k, lead with
+		// the answers whose reliability is best guaranteed. Stable, so
+		// equal lower bounds keep the score order.
+		sort.SliceStable(answers, func(i, j int) bool { return answers[i].Lo > answers[j].Lo })
 	}
 	writeJSON(w, map[string]any{
 		"protein":         req.Protein,
@@ -433,6 +470,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		"candidateTrials": res.CandidateTrials,
 		"pruned":          res.Pruned,
 		"rounds":          res.Rounds,
+		"exactAnswers":    res.ExactAnswers,
 		"answers":         answers,
 	})
 }

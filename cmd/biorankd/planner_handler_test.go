@@ -1,0 +1,204 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// answerBounds pulls the lo/hi/score/exact fields of one wire answer,
+// tolerating the omitted-when-absent encoding.
+func answerBounds(t *testing.T, a map[string]any) (lo, hi, score float64, exact, hasBounds bool) {
+	t.Helper()
+	score = a["score"].(float64)
+	if v, ok := a["exact"]; ok {
+		exact = v.(bool)
+	}
+	loV, loOK := a["lo"]
+	hiV, hiOK := a["hi"]
+	if loOK != hiOK {
+		t.Fatalf("answer has one of lo/hi but not both: %v", a)
+	}
+	if loOK {
+		lo, hi, hasBounds = loV.(float64), hiV.(float64), true
+	}
+	return
+}
+
+func TestTopKHandlerPlanner(t *testing.T) {
+	s := testServer(t)
+	protein := s.sys.Proteins()[0]
+
+	t.Run("planner GET reports bounds and exact markers", func(t *testing.T) {
+		code, out := do(t, s.handleTopK, http.MethodGet,
+			"/topk?protein="+protein+"&k=3&trials=2000&seed=1&planner=true", "")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %v", code, out)
+		}
+		if _, ok := out["exactAnswers"]; !ok {
+			t.Fatalf("planner response missing exactAnswers telemetry: %v", out)
+		}
+		answers := out["answers"].([]any)
+		if len(answers) != 3 {
+			t.Fatalf("want 3 answers, got %d", len(answers))
+		}
+		for _, raw := range answers {
+			a := raw.(map[string]any)
+			lo, hi, score, exact, _ := answerBounds(t, a)
+			if !(lo <= score && score <= hi) {
+				t.Errorf("score %v outside [%v, %v]", score, lo, hi)
+			}
+			if exact {
+				if lo != score || hi != score {
+					t.Errorf("exact answer interval [%v, %v] not zero width at %v", lo, hi, score)
+				}
+				if trials := a["trials"].(float64); trials != 0 {
+					t.Errorf("exact answer consumed %v trials", trials)
+				}
+			}
+		}
+	})
+
+	t.Run("planner and worlds compose", func(t *testing.T) {
+		code, out := do(t, s.handleTopK, http.MethodPost, "/topk",
+			`{"protein":"`+protein+`","k":3,"trials":2000,"seed":1,"planner":true,"worlds":true}`)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %v", code, out)
+		}
+		for _, raw := range out["answers"].([]any) {
+			a := raw.(map[string]any)
+			trials := int64(a["trials"].(float64))
+			exact := false
+			if v, ok := a["exact"]; ok {
+				exact = v.(bool)
+			}
+			// Monte Carlo answers run on the bit-parallel kernel (64-world
+			// words); exact answers consume no trials at all.
+			if exact && trials != 0 {
+				t.Errorf("exact answer consumed %d trials", trials)
+			}
+			if !exact && (trials == 0 || trials%64 != 0) {
+				t.Errorf("worlds trials %d is not a positive multiple of 64", trials)
+			}
+		}
+	})
+
+	t.Run("order=lower re-sorts by interval lower bound", func(t *testing.T) {
+		code, out := do(t, s.handleTopK, http.MethodGet,
+			"/topk?protein="+protein+"&k=5&trials=2000&seed=1&planner=true&order=lower", "")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %v", code, out)
+		}
+		answers := out["answers"].([]any)
+		prev := 2.0
+		for i, raw := range answers {
+			lo := raw.(map[string]any)["lo"].(float64)
+			if lo > prev {
+				t.Fatalf("answer %d lower bound %v out of descending order (prev %v)", i, lo, prev)
+			}
+			prev = lo
+		}
+	})
+
+	t.Run("bad order value", func(t *testing.T) {
+		code, _ := do(t, s.handleTopK, http.MethodGet,
+			"/topk?protein="+protein+"&order=banana", "")
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", code)
+		}
+	})
+}
+
+func TestRankHandlerPlannerBounds(t *testing.T) {
+	s := testServer(t)
+	ans, err := s.sys.Query(s.sys.Proteins()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphJSON, err := ans.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"graph":` + string(graphJSON) + `,"methods":["reliability"],"trials":2000,"seed":1,"planner":true}`
+	code, out := do(t, s.handleRank, http.MethodPost, "/rank", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	ranked := out["rankings"].(map[string]any)["reliability"].([]any)
+	if len(ranked) == 0 {
+		t.Fatal("empty reliability ranking")
+	}
+	for _, raw := range ranked {
+		a := raw.(map[string]any)
+		lo, hi, score, exact, hasBounds := answerBounds(t, a)
+		if !hasBounds {
+			t.Fatalf("planner answer missing lo/hi bounds: %v", a)
+		}
+		if !(lo <= score && score <= hi) {
+			t.Errorf("score %v outside [%v, %v]", score, lo, hi)
+		}
+		if exact && (lo != score || hi != score) {
+			t.Errorf("exact answer interval [%v, %v] not zero width at %v", lo, hi, score)
+		}
+	}
+
+	// Without the planner flag the same request carries no bounds.
+	body = `{"graph":` + string(graphJSON) + `,"methods":["reliability"],"trials":2000,"seed":1}`
+	code, out = do(t, s.handleRank, http.MethodPost, "/rank", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	for _, raw := range out["rankings"].(map[string]any)["reliability"].([]any) {
+		a := raw.(map[string]any)
+		if _, ok := a["lo"]; ok {
+			t.Fatalf("plain Monte Carlo answer grew bounds: %v", a)
+		}
+	}
+}
+
+// TestQueryHandlerPlannerCacheKey pins that planner and plain Monte
+// Carlo requests occupy distinct engine cache entries end to end: the
+// planner repeat hits the cache, and the hit still carries bounds.
+func TestQueryHandlerPlannerCacheKey(t *testing.T) {
+	s := testServer(t)
+	protein := s.sys.Proteins()[2]
+
+	rank := func(planner bool) (map[string]any, bool) {
+		body := `{"protein":"` + protein + `","methods":["reliability"],"trials":2000,"seed":77`
+		if planner {
+			body += `,"planner":true`
+		}
+		body += `}`
+		code, out := do(t, s.handleQuery, http.MethodPost, "/query", body)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %v", code, out)
+		}
+		res := out["results"].([]any)[0].(map[string]any)
+		if errMsg, ok := res["error"]; ok && errMsg != "" {
+			t.Fatalf("result error: %v", errMsg)
+		}
+		cached := res["cached"].(map[string]any)["reliability"].(bool)
+		return res, cached
+	}
+
+	if _, cached := rank(false); cached {
+		t.Fatal("first Monte Carlo request cannot be cached")
+	}
+	if _, cached := rank(true); cached {
+		t.Fatal("planner request served from the Monte Carlo cache entry")
+	}
+	res, cached := rank(true)
+	if !cached {
+		t.Fatal("identical planner repeat missed the cache")
+	}
+	for _, raw := range res["rankings"].(map[string]any)["reliability"].([]any) {
+		a := raw.(map[string]any)
+		lo, hi, score, _, hasBounds := answerBounds(t, a)
+		if !hasBounds {
+			t.Fatalf("cached planner hit lost its bounds: %v", a)
+		}
+		if !(lo <= score && score <= hi) {
+			t.Errorf("cached score %v outside [%v, %v]", score, lo, hi)
+		}
+	}
+}

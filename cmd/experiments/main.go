@@ -6,7 +6,7 @@
 //
 // Extensions beyond the paper run only when named explicitly:
 //
-//	experiments ablation scaling racer worlds
+//	experiments ablation scaling racer worlds planner stability
 //
 // Output is printed as fixed-width text tables with the paper's reported
 // values alongside for comparison; EXPERIMENTS.md is generated from this
@@ -175,6 +175,26 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderWorlds(res))
+			return nil
+		})
+	}
+	if want["planner"] {
+		run("planner", func() error {
+			res, err := suite.PlannerEfficiency(5)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderPlanner(res))
+			return nil
+		})
+	}
+	if want["stability"] {
+		run("stability", func() error {
+			res, err := suite.RankStability(5, opts.SensitivityTrials)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderStability(res))
 			return nil
 		})
 	}

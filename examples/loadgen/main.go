@@ -10,7 +10,8 @@
 //	go run ./examples/loadgen -mode adaptive
 //	go run ./examples/loadgen -mode topk -k 5   # successive-elimination racer
 //	go run ./examples/loadgen -mode worlds      # bit-parallel Monte Carlo
-//	go run ./examples/loadgen -mode all         # fixed, adaptive, topk and worlds
+//	go run ./examples/loadgen -mode planner     # hybrid exact/MC planner
+//	go run ./examples/loadgen -mode all         # fixed, adaptive, topk, worlds, planner
 //
 // Modes with a fixed trial budget (fixed, worlds) additionally report
 // simulated trials/sec, so the bit-parallel kernel's speedup is visible
@@ -47,7 +48,7 @@ func main() {
 		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query (cap in adaptive mode)")
 		seed    = flag.Uint64("seed", 1, "world and simulation seed")
 		addr    = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
-		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|worlds|both|all")
+		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|worlds|planner|both|all")
 		topk    = flag.Int("k", 5, "k for -mode topk (certified top-k racing)")
 	)
 	flag.Parse()
@@ -68,12 +69,14 @@ func main() {
 		modes = []string{"topk"}
 	case "worlds":
 		modes = []string{"worlds"}
+	case "planner":
+		modes = []string{"planner"}
 	case "both":
 		modes = []string{"fixed", "adaptive"}
 	case "all":
-		modes = []string{"fixed", "adaptive", "topk", "worlds"}
+		modes = []string{"fixed", "adaptive", "topk", "worlds", "planner"}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|both|all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|planner|both|all)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -93,6 +96,11 @@ func main() {
 			// Same fixed budget as the fixed pass, bit-parallel: the two
 			// passes answer "what does the worlds kernel buy end to end".
 			opts.Worlds = true
+		case "planner":
+			// Same race cap as the topk/adaptive passes; answers the probe
+			// solves exactly never hit the simulation budget at all.
+			opts.Trials = 10 * *trials
+			opts.Planner = true
 		}
 		run(sys, *clients, *rounds, *addr, m, opts)
 	}
@@ -101,10 +109,10 @@ func main() {
 // run fires the closed-loop workload once and reports its metrics.
 func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biorank.Options) {
 	proteins := sys.Proteins()
-	// The racer only changes reliability, so the topk pass measures that
-	// method alone; the other modes rank all five semantics.
+	// The racer and the planner only change reliability, so those passes
+	// measure that method alone; the other modes rank all five semantics.
 	var methods []biorank.Method
-	if mode == "topk" {
+	if mode == "topk" || mode == "planner" {
 		methods = []biorank.Method{biorank.Reliability}
 	}
 	// Modes with an a-priori budget simulate a known number of trials
@@ -228,6 +236,7 @@ func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) 
 		Adaptive bool     `json:"adaptive"`
 		TopK     int      `json:"topk,omitempty"`
 		Worlds   bool     `json:"worlds,omitempty"`
+		Planner  bool     `json:"planner,omitempty"`
 	}
 	reqs := make([]wireReq, len(batch))
 	for i, b := range batch {
@@ -235,7 +244,7 @@ func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) 
 		for j, m := range b.Methods {
 			methods[j] = string(m)
 		}
-		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK, Worlds: opts.Worlds}
+		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK, Worlds: opts.Worlds, Planner: opts.Planner}
 	}
 	body, err := json.Marshal(map[string]any{"requests": reqs})
 	if err != nil {

@@ -32,6 +32,7 @@ type optionsKey struct {
 	adaptive  bool
 	topK      int
 	worlds    bool
+	planner   bool
 }
 
 // CacheStats reports the cache's cumulative effectiveness counters.
@@ -42,7 +43,33 @@ type CacheStats struct {
 	Entries   int
 }
 
-// resultCache is a mutex-guarded LRU mapping cacheKey to score slices.
+// cachedResult is the cache's value type: the score vector plus the
+// optional uncertainty payload (confidence bounds and exact markers)
+// some estimators attach. Lo/Hi/Exact are nil when the method that
+// produced the entry does not report them.
+type cachedResult struct {
+	scores []float64
+	lo, hi []float64
+	exact  []bool
+}
+
+// clone deep-copies the payload so cache entries never alias slices a
+// caller can mutate (in either direction).
+func (r cachedResult) clone() cachedResult {
+	c := cachedResult{scores: append([]float64(nil), r.scores...)}
+	if r.lo != nil {
+		c.lo = append([]float64(nil), r.lo...)
+	}
+	if r.hi != nil {
+		c.hi = append([]float64(nil), r.hi...)
+	}
+	if r.exact != nil {
+		c.exact = append([]bool(nil), r.exact...)
+	}
+	return c
+}
+
+// resultCache is a mutex-guarded LRU mapping cacheKey to results.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -52,8 +79,8 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key    cacheKey
-	scores []float64
+	key cacheKey
+	res cachedResult
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -67,43 +94,43 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns a copy of the cached scores for key, or nil. Copying on
-// the way out means a caller that sorts or otherwise edits the returned
-// slice in place cannot corrupt the cached entry for later hits.
-func (c *resultCache) get(key cacheKey) []float64 {
+// get returns a copy of the cached result for key. Copying on the way
+// out means a caller that sorts or otherwise edits the returned slices
+// in place cannot corrupt the cached entry for later hits.
+func (c *resultCache) get(key cacheKey) (cachedResult, bool) {
 	if c == nil {
-		return nil
+		return cachedResult{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.stats.Misses++
-		return nil
+		return cachedResult{}, false
 	}
 	c.stats.Hits++
 	c.ll.MoveToFront(el)
-	return append([]float64(nil), el.Value.(*cacheEntry).scores...)
+	return el.Value.(*cacheEntry).res.clone(), true
 }
 
-// put stores a copy of scores under key, evicting the least recently
-// used entry when over capacity. Copying on the way in means the cache
-// never aliases a slice the caller keeps (the engine hands the same
-// scores to the response it returns), so later caller mutations cannot
-// leak into cached results.
-func (c *resultCache) put(key cacheKey, scores []float64) {
+// put stores a copy of res under key, evicting the least recently used
+// entry when over capacity. Copying on the way in means the cache never
+// aliases slices the caller keeps (the engine hands the same result to
+// the response it returns), so later caller mutations cannot leak into
+// cached results.
+func (c *resultCache) put(key cacheKey, res cachedResult) {
 	if c == nil {
 		return
 	}
-	scores = append([]float64(nil), scores...)
+	res = res.clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).scores = scores
+		el.Value.(*cacheEntry).res = res
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, scores: scores})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

@@ -81,10 +81,19 @@ type Options struct {
 	// result-cache key: a scalar hit must never serve a worlds request
 	// or vice versa.
 	Worlds bool
+	// Planner replaces the reliability estimator with the hybrid
+	// exact/Monte-Carlo planner (rank.HybridPlanner): answers whose
+	// subgraph reduces or factors cheaply are solved exactly and seed
+	// the top-k race as zero-width intervals; only the irreducible
+	// remainder is simulated. Results carry per-answer Lo/Hi bounds and
+	// Exact markers. Takes precedence over TopK and Adaptive (TopK then
+	// sets the planner's K) and is part of the result-cache key: planner
+	// scores are not interchangeable with plain Monte Carlo estimates.
+	Planner bool
 }
 
 func (o Options) key() optionsKey {
-	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive, topK: o.TopK, worlds: o.Worlds}
+	return optionsKey{trials: o.Trials, seed: o.Seed, reduce: o.Reduce, exact: o.Exact, mcWorkers: o.MCWorkers, adaptive: o.Adaptive, topK: o.TopK, worlds: o.Worlds, planner: o.Planner}
 }
 
 // Request is one unit of work in a batch: rank the answers of a query
@@ -281,8 +290,8 @@ func (e *Engine) execute(req *Request, resp *Response) {
 	cached := make(map[string]bool, len(methods))
 	var misses []string
 	for _, m := range methods {
-		if scores := e.cache.get(cacheKey{source: req.Source, fp: fp, version: version, method: m, opts: okey}); scores != nil {
-			results[m] = rank.Result{Method: m, Scores: scores}
+		if hit, ok := e.cache.get(cacheKey{source: req.Source, fp: fp, version: version, method: m, opts: okey}); ok {
+			results[m] = rank.Result{Method: m, Scores: hit.scores, Lo: hit.lo, Hi: hit.hi, Exact: hit.exact}
 			cached[m] = true
 			continue
 		}
@@ -299,6 +308,7 @@ func (e *Engine) execute(req *Request, resp *Response) {
 			Adaptive:  req.Options.Adaptive,
 			TopK:      req.Options.TopK,
 			Worlds:    req.Options.Worlds,
+			Planner:   req.Options.Planner,
 			Methods:   misses,
 		}
 		all.Plan = e.planFor(qg, fp, version, all)
@@ -310,7 +320,8 @@ func (e *Engine) execute(req *Request, resp *Response) {
 		for m, res := range fresh {
 			results[m] = res
 			cached[m] = false
-			e.cache.put(cacheKey{source: req.Source, fp: fp, version: version, method: m, opts: okey}, res.Scores)
+			e.cache.put(cacheKey{source: req.Source, fp: fp, version: version, method: m, opts: okey},
+				cachedResult{scores: res.Scores, lo: res.Lo, hi: res.Hi, exact: res.Exact})
 		}
 	}
 	resp.Results = results

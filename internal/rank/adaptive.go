@@ -2,6 +2,7 @@ package rank
 
 import (
 	"fmt"
+	"sort"
 
 	"biorank/internal/graph"
 	"biorank/internal/kernel"
@@ -190,11 +191,7 @@ func gapCertified(gap float64, trials int, eps, delta float64) bool {
 }
 
 func sortFloatsDesc(xs []float64) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
 }
 
 // String describes the configuration, for logs.

@@ -30,6 +30,17 @@ import (
 type Result struct {
 	Method string
 	Scores []float64
+
+	// Lo and Hi, when non-nil, bound answer i's true score from below
+	// and above at the estimator's confidence level: the racer reports
+	// its elimination intervals, the hybrid planner reports Wilson (or
+	// Jeffreys) intervals for Monte Carlo answers, and exact evaluation
+	// reports zero-width intervals (Lo[i] == Hi[i] == Scores[i]).
+	// Methods without uncertainty quantification leave both nil.
+	Lo, Hi []float64
+	// Exact, when non-nil, marks answers whose score is exact rather
+	// than estimated. Exact[i] implies Lo[i] == Hi[i] == Scores[i].
+	Exact []bool
 }
 
 // Ranker is a relevance function r: A → R over a probabilistic query

@@ -36,6 +36,15 @@ type AllOptions struct {
 	// Adaptive; Trials caps the per-candidate trial count. Only the top
 	// K scores (and their boundary) are certified.
 	TopK int
+	// Planner replaces the reliability estimator with the HybridPlanner:
+	// each answer is probed for exact (closed-form or cheaply factored)
+	// evaluation and only the irreducible remainder is simulated, in a
+	// top-k race seeded with the exact answers as zero-width intervals.
+	// Takes precedence over TopK and Adaptive (TopK then sets the
+	// planner's K); Trials caps the per-candidate trial count. Results
+	// carry per-answer Lo/Hi intervals and Exact markers. Reduce is
+	// ignored — the probe already reduces each answer's subgraph.
+	Planner bool
 	// Worlds runs reliability simulation on the bit-parallel kernel —
 	// 64 possible worlds per machine word, Trials (and adaptive/racer
 	// batches) rounded up to multiples of kernel.WordSize. Composes with
@@ -65,6 +74,9 @@ func (o AllOptions) ranker(name string) (Ranker, bool) {
 		if o.Exact {
 			return Exact{}, true
 		}
+		if o.Planner {
+			return &HybridPlanner{K: o.TopK, Seed: o.Seed, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: o.Plan}, true
+		}
 		if o.TopK > 0 {
 			return &TopKRacer{K: o.TopK, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: o.Plan}, true
 		}
@@ -92,7 +104,13 @@ func (o AllOptions) ranker(name string) (Ranker, bool) {
 func (o AllOptions) UsesPlan(name string) bool {
 	switch name {
 	case "reliability":
-		return !o.Exact && !o.Reduce
+		if o.Exact {
+			return false
+		}
+		if o.Planner {
+			return true // the planner's race always runs on the full-graph plan
+		}
+		return !o.Reduce
 	case "propagation", "diffusion":
 		return true
 	default:

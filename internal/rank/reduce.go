@@ -53,6 +53,20 @@ type redGraph struct {
 
 	src      int32
 	isTarget []bool
+
+	// ownsMeta records whether kind/label are this graph's own backing
+	// arrays. Reductions and factoring never rewrite node metadata after
+	// construction, so factoring branches share one immutable copy
+	// (cloneInto sets ownsMeta=false); an arena may only append into
+	// kind/label when it owns them.
+	ownsMeta bool
+
+	// Reusable per-pass scratch. Owned by the arena, never cloned: each
+	// factoring branch carries its own so the reduction passes allocate
+	// nothing in steady state.
+	fwdScratch, backScratch []bool
+	stackScratch            []int32
+	firstScratch            map[int32]int32
 }
 
 func newRedGraph(qg *graph.QueryGraph) *redGraph {
@@ -71,6 +85,7 @@ func newRedGraph(qg *graph.QueryGraph) *redGraph {
 		eQ:       make([]float64, 0, m),
 		src:      int32(qg.Source),
 		isTarget: make([]bool, n),
+		ownsMeta: true,
 	}
 	for i := 0; i < n; i++ {
 		nd := qg.Node(graph.NodeID(i))
@@ -158,8 +173,13 @@ func (rg *redGraph) dropZeroAndLoops() bool {
 // [sink] nodes" rule. Returns true if anything changed.
 func (rg *redGraph) pruneDisconnected() bool {
 	n := len(rg.alive)
-	fwd := make([]bool, n)
-	stack := make([]int32, 0, n)
+	rg.fwdScratch = boolScratch(rg.fwdScratch, n)
+	rg.backScratch = boolScratch(rg.backScratch, n)
+	if cap(rg.stackScratch) < n {
+		rg.stackScratch = make([]int32, 0, n)
+	}
+	fwd := rg.fwdScratch
+	stack := rg.stackScratch[:0]
 	if rg.alive[rg.src] {
 		fwd[rg.src] = true
 		stack = append(stack, rg.src)
@@ -175,7 +195,7 @@ func (rg *redGraph) pruneDisconnected() bool {
 			}
 		}
 	}
-	back := make([]bool, n)
+	back := rg.backScratch
 	for i := 0; i < n; i++ {
 		if rg.alive[i] && rg.isTarget[i] {
 			back[i] = true
@@ -193,6 +213,7 @@ func (rg *redGraph) pruneDisconnected() bool {
 			}
 		}
 	}
+	rg.stackScratch = stack // keep any growth for the next pass
 	changed := false
 	for i := int32(0); int(i) < n; i++ {
 		if !rg.alive[i] || i == rg.src {
@@ -204,6 +225,19 @@ func (rg *redGraph) pruneDisconnected() bool {
 		}
 	}
 	return changed
+}
+
+// boolScratch returns a length-n all-false slice, reusing s's backing
+// array when it is large enough.
+func boolScratch(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // collapseSerial applies the serial-path rule everywhere it fits.
@@ -236,7 +270,10 @@ func (rg *redGraph) collapseSerial() bool {
 // collapseParallel merges parallel edges node by node.
 func (rg *redGraph) collapseParallel() bool {
 	changed := false
-	first := make(map[int32]int32) // to-node -> representative edge
+	if rg.firstScratch == nil {
+		rg.firstScratch = make(map[int32]int32)
+	}
+	first := rg.firstScratch // to-node -> representative edge
 	for x := int32(0); int(x) < len(rg.alive); x++ {
 		if !rg.alive[x] {
 			continue

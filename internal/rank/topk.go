@@ -3,6 +3,7 @@ package rank
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"biorank/internal/graph"
 	"biorank/internal/kernel"
@@ -54,10 +55,13 @@ type TopKRacer struct {
 	Reduce bool
 	// Worlds runs the race's simulation batches on the bit-parallel
 	// masked kernel (ReliabilityCountsMaskedWorlds): batches round UP to
-	// multiples of kernel.WordSize, mirroring AdaptiveMonteCarlo.Worlds,
-	// and elimination feedback (ActiveMask) applies unchanged. The
-	// elimination schedule is still deterministic for a fixed seed, but
-	// differs from the scalar racer's (different RNG stream).
+	// multiples of kernel.WordSize, and MaxTrials rounds DOWN to a word
+	// multiple (minimum one word) so the cap is never exceeded — the
+	// effective cap under Worlds is MaxTrials − MaxTrials mod
+	// kernel.WordSize. Elimination feedback (ActiveMask) applies
+	// unchanged. The elimination schedule is still deterministic for a
+	// fixed seed, but differs from the scalar racer's (different RNG
+	// stream).
 	Worlds bool
 	// Plan optionally supplies a pre-compiled kernel plan for the query
 	// graph (ignored under Reduce).
@@ -161,17 +165,40 @@ func (r *TopKRacer) RankWithRace(qg *graph.QueryGraph) (Result, RaceStats, error
 				rs.Lo[i] = inner.Lo[j]
 				rs.Hi[i] = inner.Hi[j]
 			}
+			// Answers the reductions dropped are certainly unreachable:
+			// their zero score is exact, hence the zero-width [0,0]
+			// interval rs.Lo/Hi already hold.
 		}
+		res.Lo, res.Hi = rs.Lo, rs.Hi
 		return res, rs, nil
 	}
 	var rs RaceStats
 	res.Scores = r.race(r.memo.For(qg, r.Plan), &rs)
+	res.Lo, res.Hi = rs.Lo, rs.Hi
 	return res, rs, nil
+}
+
+// exactPrior seeds a race with an answer whose reliability is already
+// known exactly (the hybrid planner's closed-form or factored answers):
+// the candidate enters with the zero-width interval [score, score],
+// never simulates a trial, and prunes Monte Carlo competitors through
+// the shared k-th lower bound from round one.
+type exactPrior struct {
+	idx   int
+	score float64
 }
 
 // race runs the successive-elimination loop on a compiled plan and
 // returns the per-answer score estimates.
 func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
+	return r.raceWithPriors(plan, rs, nil)
+}
+
+// raceWithPriors is race with some candidates pre-resolved exactly.
+// Prior candidates keep TrialsPerCandidate 0 and Lo = Hi = score; they
+// are excluded from the simulation mask but participate in elimination
+// and in the top-k stopping rule.
+func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []exactPrior) []float64 {
 	nA := plan.NumAnswers()
 	scores := make([]float64, nA)
 	rs.TrialsPerCandidate = make([]int64, nA)
@@ -181,6 +208,16 @@ func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
 		return scores
 	}
 	k, eps, delta, batch, maxTrials := r.params(nA)
+	if r.Worlds {
+		// The bit-parallel kernel simulates whole 64-world words, so the
+		// cap must be a word multiple or the final batch would overshoot
+		// it. Round down (never below one word); trials then always
+		// matches the number of worlds actually simulated.
+		maxTrials -= maxTrials % kernel.WordSize
+		if maxTrials < kernel.WordSize {
+			maxTrials = kernel.WordSize
+		}
+	}
 	rounds := (maxTrials + batch - 1) / batch
 	// Union bound: every (candidate, round) interval must hold
 	// simultaneously for eliminations to be sound, so each individual
@@ -189,11 +226,23 @@ func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
 
 	counts := make([]int64, plan.NumNodes())
 	lo, hi := rs.Lo, rs.Hi
+	exact := make([]bool, nA)
+	for _, p := range priors {
+		exact[p.idx] = true
+		scores[p.idx] = p.score
+		lo[p.idx], hi[p.idx] = p.score, p.score
+	}
 	active := make([]bool, nA)
 	activeIdx := make([]int, 0, nA)
 	for i := range active {
+		if exact[i] {
+			continue
+		}
 		active[i] = true
 		activeIdx = append(activeIdx, i)
+	}
+	if len(activeIdx) == 0 {
+		return scores // every candidate arrived exact; nothing to race
 	}
 	mask := make([]bool, plan.NumNodes())
 	plan.ActiveMask(activeIdx, mask)
@@ -209,9 +258,12 @@ func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
 			b = maxTrials - trials // honor the cap exactly
 		}
 		if r.Worlds {
+			// Rounding up to whole words cannot overshoot: trials and
+			// maxTrials are both word multiples, so ceil(b/WordSize)
+			// words still fit under the cap.
 			words := kernel.WorldWords(b)
 			plan.ReliabilityCountsMaskedWorlds(counts, mask, words, rng, &so)
-			b = words * kernel.WordSize // word-multiple rounding
+			b = words * kernel.WordSize
 		} else {
 			plan.ReliabilityCountsMasked(counts, mask, b, rng, &so)
 		}
@@ -249,6 +301,9 @@ func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
 				if active[i] {
 					activeIdx = append(activeIdx, i)
 				}
+			}
+			if len(activeIdx) == 0 {
+				break // every surviving contender is exact; nothing to simulate
 			}
 			// Shrink the simulated subgraph to the survivors' closure.
 			plan.ActiveMask(activeIdx, mask)
@@ -303,16 +358,20 @@ func ArgsortDesc(scores []float64) []int {
 }
 
 // sortIdxByScoreDesc fills order with 0..len-1 sorted by scores
-// descending, ties broken by index (stable and deterministic).
+// descending, ties broken by index (stable and deterministic). It runs
+// every round over all candidates, pruned included, so it must be
+// O(n log n), not the insertion sort it once was.
 func sortIdxByScoreDesc(order []int, scores []float64) {
 	for i := range order {
 		order[i] = i
 	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && scores[order[j]] > scores[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
 		}
-	}
+		return order[a] < order[b]
+	})
 }
 
 // confRadius returns a two-sided confidence radius at level 1-delta for
