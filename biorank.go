@@ -87,13 +87,17 @@ type Options struct {
 	// precedence over Adaptive; Trials caps the per-candidate count. Use
 	// Answers.TopK to additionally read the confidence bounds.
 	TopK int
-	// Worlds runs Reliability simulation on the bit-parallel kernel: 64
-	// possible worlds are evaluated per machine word, with Trials (and
-	// Adaptive / TopK batches) rounded up to multiples of 64. Scores are
-	// statistically equivalent to the scalar estimators — the per-element
-	// presence probabilities are identical — but the RNG stream differs,
-	// so a fixed seed does not reproduce the scalar scores bit for bit
-	// (it reproduces the bit-parallel scores bit for bit instead).
+	// Worlds runs Reliability simulation on the bit-parallel block
+	// kernel: 256 possible worlds are evaluated per [4]uint64 block
+	// (single 64-world words cover any remainder), with Trials (and
+	// Adaptive / TopK batches) rounded up to multiples of 64. Under
+	// TopK the race's rounds are shared-sample: every surviving
+	// candidate is judged against the same sampled world blocks. Scores
+	// are statistically equivalent to the scalar estimators — the
+	// per-element presence probabilities are identical — but the RNG
+	// stream differs, so a fixed seed does not reproduce the scalar
+	// scores bit for bit (it reproduces the block-kernel scores bit for
+	// bit instead).
 	Worlds bool
 	// Planner replaces the Reliability estimator with the hybrid
 	// exact/Monte-Carlo planner: every answer is probed for exact

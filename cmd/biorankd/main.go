@@ -12,7 +12,7 @@
 //	              Ranks a batch of queries; a single object (no "requests"
 //	              wrapper) is also accepted, as is GET /query?protein=ABCC8.
 //	              "worlds" selects the bit-parallel Monte Carlo estimator
-//	              (64 worlds per machine word, trials rounded up to a
+//	              (256 worlds per [4]uint64 block, trials rounded up to a
 //	              multiple of 64; statistically equivalent to the scalar
 //	              estimator but on a different RNG stream). "planner"
 //	              selects the hybrid exact/Monte-Carlo planner; ranked

@@ -93,8 +93,9 @@ func main() {
 			opts.Trials = 10 * *trials
 			opts.TopK = *topk
 		case "worlds":
-			// Same fixed budget as the fixed pass, bit-parallel: the two
-			// passes answer "what does the worlds kernel buy end to end".
+			// Same fixed budget as the fixed pass, bit-parallel (256
+			// worlds per block since the block kernel): the two passes
+			// answer "what does the worlds kernel buy end to end".
 			opts.Worlds = true
 		case "planner":
 			// Same race cap as the topk/adaptive passes; answers the probe

@@ -74,12 +74,12 @@ type Options struct {
 	// being simulated. Takes precedence over Adaptive. Because only the
 	// top K is certified, K is part of the result-cache key.
 	TopK int
-	// Worlds runs reliability simulation on the bit-parallel kernel (64
-	// possible worlds per machine word, trials rounded up to word
-	// multiples). The estimator is statistically — not bitwise —
-	// equivalent to the scalar kernels, so the flag is part of the
-	// result-cache key: a scalar hit must never serve a worlds request
-	// or vice versa.
+	// Worlds runs reliability simulation on the bit-parallel block
+	// kernel (256 possible worlds per [4]uint64 block, trials rounded
+	// up to 64-world word multiples). The estimator is statistically —
+	// not bitwise — equivalent to the scalar kernels, so the flag is
+	// part of the result-cache key: a scalar hit must never serve a
+	// worlds request or vice versa.
 	Worlds bool
 	// Planner replaces the reliability estimator with the hybrid
 	// exact/Monte-Carlo planner (rank.HybridPlanner): answers whose

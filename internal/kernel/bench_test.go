@@ -95,6 +95,72 @@ func BenchmarkBitParallel10000(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldsBlock1000 is the block kernel (256 worlds per
+// [4]uint64 block) on the BenchmarkBitParallel1000 workload.
+func BenchmarkWorldsBlock1000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.ReliabilityWorldsBlock(scores, 1000, rng, nil)
+	}
+}
+
+// BenchmarkWorldsBlock10000 simulates the full 10,000-trial budget 256
+// worlds at a time (39 blocks + 1 remainder word); compare
+// BenchmarkBitParallel10000 — the ≥2x target of the block refactor.
+func BenchmarkWorldsBlock10000(b *testing.B) {
+	plan := Compile(benchPlanGraph())
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.ReliabilityWorldsBlock(scores, 10000, rng, nil)
+	}
+}
+
+// sparseReachGraph is a low-reach synth graph: a wide fan of nodes
+// behind one improbable edge, so most word-trials touch almost nothing.
+// It pins the touched-list harvest of the worlds kernels — a full
+// per-node sweep per word-trial costs O(n·words) here while the
+// traversal itself is O(touched).
+func sparseReachGraph(n int) *graph.QueryGraph {
+	g := graph.New(n+2, n+1)
+	s := g.AddNode("Q", "s", 1)
+	hub := g.AddNode("H", "hub", 1)
+	g.AddEdge(s, hub, "r", 0.01) // reach beyond the source is rare
+	answers := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		answers[i] = g.AddNode("A", "a", 1)
+		g.AddEdge(hub, answers[i], "r", 1)
+	}
+	qg, err := graph.NewQueryGraph(g, s, answers)
+	if err != nil {
+		panic(err)
+	}
+	return qg
+}
+
+// BenchmarkBitParallelSparseHarvest runs the single-word worlds kernel
+// on the sparse-reach graph: with the touched-list harvest the cost per
+// word-trial is dominated by the source coin, not an O(n) sweep.
+func BenchmarkBitParallelSparseHarvest(b *testing.B) {
+	plan := Compile(sparseReachGraph(20000))
+	scores := make([]float64, plan.NumAnswers())
+	rng := prob.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(1)
+		plan.ReliabilityWorlds(scores, 6400, rng, nil)
+	}
+}
+
 // BenchmarkCompiledNaive1000 is the compiled all-coins baseline.
 func BenchmarkCompiledNaive1000(b *testing.B) {
 	plan := Compile(benchPlanGraph())

@@ -274,6 +274,7 @@ type Scratch struct {
 	par    []parent // diffusion inner-solve buffer
 
 	ws *worldScratch // bit-parallel working set, nil until first worlds call
+	bs *blockScratch // block-parallel working set, nil until first block call
 }
 
 // parent is one incoming contribution to the diffusion inner solve.

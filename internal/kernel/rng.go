@@ -24,6 +24,54 @@ func (x *xrng) release(rng *prob.RNG) {
 	rng.SetState([4]uint64{x.s0, x.s1, x.s2, x.s3})
 }
 
+// seed resets the stream from a single 64-bit seed using the same
+// splitmix64 expansion as prob.RNG.Seed, so an xrng seeded with s
+// produces exactly prob.NewRNG(s)'s word sequence
+// (TestXRNGSeedMatchesProbRNG pins that).
+func (x *xrng) seed(seed uint64) {
+	const gamma = 0x9e3779b97f4a7c15 // SplitMix64 golden-ratio increment
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	seed += gamma
+	x.s0 = mix(seed)
+	seed += gamma
+	x.s1 = mix(seed)
+	seed += gamma
+	x.s2 = mix(seed)
+	seed += gamma
+	x.s3 = mix(seed)
+}
+
+// blockRNG steps four statistically independent xoshiro256** streams,
+// one per block lane. A single stream is LATENCY-bound in the block
+// sampler: each xoshiro step depends on the previous one, and a block
+// mask consumes ~30 words back to back, so the serial dependency chain
+// — not memory or ALU throughput — sets the pace. Four independent
+// streams split the chain into four the CPU pipelines concurrently,
+// which is where the block kernel's speedup over the single-word
+// kernel comes from (coin generation is ~3/4 of its profile).
+type blockRNG struct{ a, b, c, d xrng }
+
+// borrowBlockRNG derives the four lane streams from one draw of the
+// caller's RNG via prob.StreamSeed — the same derivation the sharded
+// Monte Carlo runner uses for its worker streams, so distinct lanes can
+// never coincide and related seeds decorrelate. The caller's stream
+// advances by exactly that one draw (successive batches thus derive
+// fresh, deterministic lane families); the lane streams are ephemeral,
+// so there is nothing to release.
+func borrowBlockRNG(rng *prob.RNG) blockRNG {
+	root := rng.Uint64()
+	var br blockRNG
+	br.a.seed(prob.StreamSeed(root, 0))
+	br.b.seed(prob.StreamSeed(root, 1))
+	br.c.seed(prob.StreamSeed(root, 2))
+	br.d.seed(prob.StreamSeed(root, 3))
+	return br
+}
+
 // next returns the next uniform float64 in [0,1), identical to
 // prob.RNG.Float64.
 func (x *xrng) next() float64 {

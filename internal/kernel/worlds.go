@@ -98,6 +98,12 @@ type worldScratch struct {
 	// reach it, and the re-scan must see the same coins.
 	estamp []int32 // len m
 	emask  []uint64
+	// touched lists the nodes stamped this word-trial. The harvest used
+	// to sweep all n node cells per word-trial — O(n·words) even when a
+	// low-reach trial touched a handful of nodes, which dominated on
+	// large sparse-reach graphs where the traversal itself is O(touched).
+	// Recording first touches makes the harvest O(touched) too.
+	touched []int32
 }
 
 // worlds returns the scratch's bit-parallel working set, allocating it
@@ -105,10 +111,11 @@ type worldScratch struct {
 func (s *Scratch) worlds(p *Plan) *worldScratch {
 	if s.ws == nil {
 		s.ws = &worldScratch{
-			node:   make([]worldNode, p.n),
-			inq:    make([]int32, p.n),
-			estamp: make([]int32, p.m),
-			emask:  make([]uint64, p.m),
+			node:    make([]worldNode, p.n),
+			inq:     make([]int32, p.n),
+			estamp:  make([]int32, p.m),
+			emask:   make([]uint64, p.m),
+			touched: make([]int32, 0, p.n),
 		}
 	}
 	return s.ws
@@ -210,6 +217,7 @@ func (p *Plan) traverseWorlds(sc *Scratch, live []bool, words int, rng *prob.RNG
 
 	for w := 0; w < words; w++ {
 		cur := ws.nextEpoch()
+		touched := ws.touched[:0]
 		srcMask := ^uint64(0)
 		if srcPB != coinCertain {
 			flips++
@@ -223,6 +231,7 @@ func (p *Plan) traverseWorlds(sc *Scratch, live []bool, words int, rng *prob.RNG
 			continue // source absent in all 64 worlds
 		}
 		wn[src] = worldNode{stamp: cur, present: srcMask, reach: srcMask}
+		touched = append(touched, src)
 		stack[0] = src
 		inq[src] = cur
 		top := 1
@@ -271,6 +280,7 @@ func (p *Plan) traverseWorlds(sc *Scratch, live []bool, words int, rng *prob.RNG
 					nc.stamp = cur
 					nc.present = pm
 					nc.reach = 0
+					touched = append(touched, to)
 				}
 				newBits := t & nc.present &^ nc.reach
 				if newBits == 0 {
@@ -285,14 +295,13 @@ func (p *Plan) traverseWorlds(sc *Scratch, live []bool, words int, rng *prob.RNG
 			}
 		}
 		// Harvest this word-trial's reach masks into the per-node
-		// counters. Only stamped nodes were touched.
-		for i := range wn {
-			if wn[i].stamp == cur {
-				c := int64(bits.OnesCount64(wn[i].reach))
-				nodes[i].count += c
-				visits += c
-			}
+		// counters — only the touched closure, not all n cells.
+		for _, ti := range touched {
+			c := int64(bits.OnesCount64(wn[ti].reach))
+			nodes[ti].count += c
+			visits += c
 		}
+		ws.touched = touched[:0]
 	}
 	xr.release(rng)
 	if ops != nil {

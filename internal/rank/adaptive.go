@@ -42,12 +42,15 @@ type AdaptiveMonteCarlo struct {
 	Seed uint64
 	// Reduce applies the Section 3.1.2 reductions first.
 	Reduce bool
-	// Worlds runs the simulation batches on the bit-parallel kernel:
-	// each batch is rounded UP to a multiple of kernel.WordSize (a
-	// fractional word costs the same as a full one), so the reported
-	// trial count is always a word multiple and the final batch may
-	// overshoot MaxTrials by at most WordSize−1 trials. Statistically
-	// equivalent to the scalar batches; the RNG stream differs.
+	// Worlds runs the simulation batches on the bit-parallel block
+	// kernel (ReliabilityCountsWorldsBlock): batches round UP to
+	// multiples of kernel.WordSize (a fractional word costs the same as
+	// a full one), and MaxTrials rounds DOWN to a word multiple
+	// (minimum one word) so the cap is never exceeded — the same cap
+	// rule TopKRacer.Worlds follows, and the reported trial count is
+	// always a word multiple that honors MaxTrials exactly.
+	// Statistically equivalent to the scalar batches; the RNG stream
+	// differs.
 	Worlds bool
 	// Plan optionally supplies a pre-compiled kernel plan for the query
 	// graph (ignored under Reduce).
@@ -120,6 +123,16 @@ func (a *AdaptiveMonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStat
 // observed (top-K) order or MaxTrials is reached.
 func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64 {
 	eps, delta, batch, maxTrials := a.params()
+	if a.Worlds {
+		// The bit-parallel kernel simulates whole 64-world words, so the
+		// cap must be a word multiple or the final batch would overshoot
+		// it by up to WordSize−1 trials. Round down (never below one
+		// word), mirroring TopKRacer.Worlds.
+		maxTrials -= maxTrials % kernel.WordSize
+		if maxTrials < kernel.WordSize {
+			maxTrials = kernel.WordSize
+		}
+	}
 	rng := prob.NewRNG(a.Seed)
 	total := make([]int64, plan.NumNodes())
 	sorted := make([]float64, plan.NumAnswers())
@@ -132,9 +145,12 @@ func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64
 			b = maxTrials - trials // honor the cap exactly
 		}
 		if a.Worlds {
+			// Rounding up to whole words cannot overshoot: trials and
+			// maxTrials are both word multiples, so ceil(b/WordSize)
+			// words still fit under the cap.
 			words := kernel.WorldWords(b)
-			plan.ReliabilityCountsWorlds(total, words, rng, &so)
-			b = words * kernel.WordSize // word-multiple rounding
+			plan.ReliabilityCountsWorldsBlock(total, words, rng, &so)
+			b = words * kernel.WordSize
 		} else {
 			plan.ReliabilityCounts(total, b, rng, &so)
 		}

@@ -45,9 +45,10 @@ type AllOptions struct {
 	// carry per-answer Lo/Hi intervals and Exact markers. Reduce is
 	// ignored — the probe already reduces each answer's subgraph.
 	Planner bool
-	// Worlds runs reliability simulation on the bit-parallel kernel —
-	// 64 possible worlds per machine word, Trials (and adaptive/racer
-	// batches) rounded up to multiples of kernel.WordSize. Composes with
+	// Worlds runs reliability simulation on the bit-parallel block
+	// kernel — 256 possible worlds per [4]uint64 block (single-word
+	// batches cover remainders), Trials (and adaptive/racer batches)
+	// rounded up to multiples of kernel.WordSize. Composes with
 	// MCWorkers, Adaptive and TopK. Scores are statistically, not
 	// bitwise, equivalent to the scalar estimators: the RNG stream
 	// differs, like changing the seed.

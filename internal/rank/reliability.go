@@ -51,14 +51,16 @@ type MonteCarlo struct {
 	// Results are deterministic for a fixed (Seed, Workers) pair; 0 or 1
 	// runs serially. Only the traversal estimator parallelizes.
 	Workers int
-	// Worlds switches to the bit-parallel estimator: 64 possible worlds
-	// are simulated per machine word over the compiled plan, with Trials
-	// rounded UP to the next multiple of kernel.WordSize. Statistically
-	// equivalent to the scalar traversal estimator (the per-element coin
-	// probabilities are identical), but the RNG stream differs, so
-	// scores for a fixed seed are NOT bit-identical to the scalar
-	// kernel's. Composes with Workers (words are sharded); ignored under
-	// Naive.
+	// Worlds switches to the bit-parallel estimator, which since the
+	// block kernel runs kernel.BlockSize (256) possible worlds per
+	// [4]uint64 block with per-lane RNG streams, falling back to
+	// single-word batches only for the remainder of a request that is
+	// not a whole number of blocks. Trials is rounded UP to the next
+	// multiple of kernel.WordSize. Statistically equivalent to the
+	// scalar traversal estimator (the per-element coin probabilities
+	// are identical), but the RNG stream differs, so scores for a fixed
+	// seed are NOT bit-identical to the scalar kernel's. Composes with
+	// Workers (words are sharded); ignored under Naive.
 	Worlds bool
 	// Plan, when non-nil and structurally matching the query graph,
 	// skips plan compilation — RankAll and the engine share one compiled
@@ -153,7 +155,7 @@ func (m *MonteCarlo) simulate(plan *kernel.Plan, trials int, ops *OpStats) []flo
 			*so = sim
 		}
 	case m.Worlds:
-		plan.ReliabilityWorlds(scores, trials, prob.NewRNG(m.Seed), so)
+		plan.ReliabilityWorldsBlock(scores, trials, prob.NewRNG(m.Seed), so)
 	case m.Workers > 1:
 		sim := parallelTraversalMC(plan, trials, m.Seed, m.Workers, scores)
 		if so != nil {
@@ -180,11 +182,12 @@ func parallelTraversalMC(plan *kernel.Plan, trials int, seed uint64, workers int
 // parallelWorldsMC shards the word-trials of the bit-parallel estimator
 // the same way. The word — not the trial — is the unit of division, so
 // every shard simulates whole 64-world batches and the combined trial
-// count is words·64.
+// count is words·64; each shard runs the block kernel over its share,
+// spilling to single-word batches for its remainder words.
 func parallelWorldsMC(plan *kernel.Plan, trials int, seed uint64, workers int, scores []float64) kernel.SimOps {
 	words := kernel.WorldWords(trials)
 	return parallelShardedMC(plan, words, words*kernel.WordSize, seed, workers, scores,
-		(*kernel.Plan).ReliabilityCountsWorlds)
+		(*kernel.Plan).ReliabilityCountsWorldsBlock)
 }
 
 // parallelShardedMC splits units of simulation work (scalar trials or

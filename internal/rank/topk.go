@@ -54,7 +54,12 @@ type TopKRacer struct {
 	// reduced graph.
 	Reduce bool
 	// Worlds runs the race's simulation batches on the bit-parallel
-	// masked kernel (ReliabilityCountsMaskedWorlds): batches round UP to
+	// masked block kernel (ReliabilityCountsMaskedWorldsBlock), the
+	// shared-sample round: one traversal samples each block of 256
+	// possible worlds and feeds EVERY surviving candidate's counter, so
+	// all active candidates are judged against the same sampled worlds —
+	// elimination decisions carry no cross-candidate sampling variance —
+	// and one coin pass serves the whole round. Batches round UP to
 	// multiples of kernel.WordSize, and MaxTrials rounds DOWN to a word
 	// multiple (minimum one word) so the cap is never exceeded — the
 	// effective cap under Worlds is MaxTrials − MaxTrials mod
@@ -262,7 +267,7 @@ func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []ex
 			// maxTrials are both word multiples, so ceil(b/WordSize)
 			// words still fit under the cap.
 			words := kernel.WorldWords(b)
-			plan.ReliabilityCountsMaskedWorlds(counts, mask, words, rng, &so)
+			plan.ReliabilityCountsMaskedWorldsBlock(counts, mask, words, rng, &so)
 			b = words * kernel.WordSize
 		} else {
 			plan.ReliabilityCountsMasked(counts, mask, b, rng, &so)
@@ -308,7 +313,7 @@ func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []ex
 			// Shrink the simulated subgraph to the survivors' closure.
 			plan.ActiveMask(activeIdx, mask)
 		}
-		if topKResolved(order, scores, lo, hi, rs.TrialsPerCandidate, k, eps, delta) {
+		if topKResolved(order, scores, lo, hi, rs.TrialsPerCandidate, exact, k, eps, delta) {
 			break
 		}
 	}
@@ -321,11 +326,18 @@ func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []ex
 // estimate — including the boundary pair (rank k, rank k+1) — the pair
 // is an effective tie, has disjoint confidence intervals, or is
 // certified by the shared Theorem 3.1 trial bound. The certificate uses
-// the SMALLER of the pair's trial counts: a pruned candidate's estimate
-// is frozen at its elimination round, and certifying against the
-// survivors' larger count would claim a confidence the frozen estimate
-// never earned. order is scratch for the index sort.
-func topKResolved(order []int, scores, lo, hi []float64, nTrials []int64, k int, eps, delta float64) bool {
+// the SMALLER of the pair's MONTE CARLO trial counts: a pruned
+// candidate's estimate is frozen at its elimination round, and
+// certifying against the survivors' larger count would claim a
+// confidence the frozen estimate never earned. An exact member (a
+// planner-seeded prior with a zero-width interval) contributes no
+// sampling error and so needs no trials — the certificate is earned by
+// the MC member's count alone; taking the pair minimum would pin such a
+// pair at zero trials forever and run the race to MaxTrials whenever
+// the MC interval straddles the exact score. A pair of two exact
+// members is resolved by definition. order is scratch for the index
+// sort.
+func topKResolved(order []int, scores, lo, hi []float64, nTrials []int64, exact []bool, k int, eps, delta float64) bool {
 	sortIdxByScoreDesc(order, scores)
 	last := len(order) - 1
 	if k < last {
@@ -336,9 +348,19 @@ func topKResolved(order []int, scores, lo, hi []float64, nTrials []int64, k int,
 		if lo[a] >= hi[b] {
 			continue // intervals disjoint: order certified
 		}
-		pairTrials := nTrials[a]
-		if nTrials[b] < pairTrials {
+		var pairTrials int64
+		switch {
+		case exact[a] && exact[b]:
+			continue // both scores exact: the order is known, not sampled
+		case exact[a]:
 			pairTrials = nTrials[b]
+		case exact[b]:
+			pairTrials = nTrials[a]
+		default:
+			pairTrials = nTrials[a]
+			if nTrials[b] < pairTrials {
+				pairTrials = nTrials[b]
+			}
 		}
 		if gapCertified(scores[a]-scores[b], int(pairTrials), eps, delta) {
 			continue // tie or Theorem 3.1 certificate
