@@ -24,9 +24,12 @@
 package biorank
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"biorank/internal/bio"
 	"biorank/internal/engine"
@@ -290,19 +293,33 @@ func (o Options) usesPlan(m Method) bool {
 // Rank scores every answer with the chosen method and returns them in
 // descending score order (ties in input order).
 func (a *Answers) Rank(m Method, o Options) ([]ScoredAnswer, error) {
+	out, _, err := a.RankCtx(context.Background(), m, o)
+	return out, err
+}
+
+// RankCtx is Rank under a context deadline. The Monte Carlo estimators
+// check the context between simulation batches; when it expires they
+// return the ranking built from the trials completed so far — every
+// answer still carries a valid confidence interval (HasBounds), just a
+// wider one — and truncated reports that the budget was cut short
+// rather than spent. Deterministic methods (InEdge, PathCount, exact
+// reliability) ignore the deadline and always complete. A run that
+// finishes before the deadline is bit-identical to Rank with the same
+// seed, and truncated is false.
+func (a *Answers) RankCtx(ctx context.Context, m Method, o Options) (answers []ScoredAnswer, truncated bool, err error) {
 	var plan *kernel.Plan
 	if o.usesPlan(m) {
 		plan = a.planFor()
 	}
 	r, err := o.ranker(m, plan)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	res, err := r.Rank(a.qg)
+	res, err := rank.RankWithCtx(ctx, r, a.qg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return scoredAnswers(a.qg, res), nil
+	return scoredAnswers(a.qg, res), res.Truncated, nil
 }
 
 // TopKAnswer is one certified top-k answer: its identity, score
@@ -344,6 +361,11 @@ type TopKResult struct {
 	// ExactAnswers counts candidates the hybrid planner solved exactly
 	// (zero without Options.Planner).
 	ExactAnswers int
+	// Truncated reports that a context deadline cut the race short (see
+	// TopKCtx): the returned answers are the best current estimates with
+	// valid — but possibly vacuous [0,1] — confidence intervals, and the
+	// top k is no longer certified.
+	Truncated bool
 }
 
 // TopK races the answer set and returns the certified top k by
@@ -358,6 +380,17 @@ type TopKResult struct {
 // is simulated. For the full ranking (all answers, no bounds) use Rank
 // or RankAll.
 func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
+	return a.TopKCtx(context.Background(), k, o)
+}
+
+// TopKCtx is TopK under a context deadline. The racer checks the
+// context between simulation rounds; on expiry it stops and returns
+// the current standings with TopKResult.Truncated set — the answers
+// are the best estimates so far, their Lo/Hi intervals remain valid
+// (vacuous [0,1] for candidates that never simulated), but the top k
+// is no longer certified. A race that finishes before the deadline is
+// bit-identical to TopK with the same seed.
+func (a *Answers) TopKCtx(ctx context.Context, k int, o Options) (*TopKResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("biorank: top-k rank requires k >= 1, got %d", k)
 	}
@@ -375,7 +408,7 @@ func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
 	if o.Planner {
 		planner := &rank.HybridPlanner{K: k, Seed: o.Seed, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}
 		var ps rank.PlannerStats
-		res, ps, err = planner.RankWithStats(a.qg)
+		res, ps, err = planner.RankWithStatsCtx(ctx, a.qg)
 		if err != nil {
 			return nil, err
 		}
@@ -384,11 +417,12 @@ func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
 		out.ExactAnswers = ps.ExactAnswers
 	} else {
 		racer := &rank.TopKRacer{K: k, Seed: o.Seed, Reduce: o.Reduce, MaxTrials: o.Trials, Worlds: o.Worlds, Plan: plan}
-		res, rs, err = racer.RankWithRace(a.qg)
+		res, rs, err = racer.RankWithRaceCtx(ctx, a.qg)
 		if err != nil {
 			return nil, err
 		}
 	}
+	out.Truncated = res.Truncated
 	order := rank.ArgsortDesc(res.Scores)
 	if k > len(order) {
 		k = len(order)
@@ -431,6 +465,15 @@ func (a *Answers) TopK(k int, o Options) (*TopKResult, error) {
 // Options.Workers. Scores are identical to calling Rank once per
 // method.
 func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnswer, error) {
+	out, _, err := a.RankAllCtx(context.Background(), o, methods...)
+	return out, err
+}
+
+// RankAllCtx is RankAll under a context deadline. Monte Carlo methods
+// that hit the deadline return truncated partial rankings (flagged per
+// method in the truncated map) while deterministic methods always
+// complete; see RankCtx for the partial-result contract.
+func (a *Answers) RankAllCtx(ctx context.Context, o Options, methods ...Method) (rankings map[Method][]ScoredAnswer, truncated map[Method]bool, err error) {
 	names := make([]string, len(methods))
 	for i, m := range methods {
 		names[i] = string(m)
@@ -457,15 +500,17 @@ func (a *Answers) RankAll(o Options, methods ...Method) (map[Method][]ScoredAnsw
 			break
 		}
 	}
-	results, err := rank.RankAll(a.qg, all)
+	results, err := rank.RankAllCtx(ctx, a.qg, all)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make(map[Method][]ScoredAnswer, len(results))
+	trunc := make(map[Method]bool, len(results))
 	for name, res := range results {
 		out[Method(name)] = scoredAnswers(a.qg, res)
+		trunc[Method(name)] = res.Truncated
 	}
-	return out, nil
+	return out, trunc, nil
 }
 
 // scoredAnswers converts a ranking result into the sorted public
@@ -525,6 +570,10 @@ type System struct {
 
 	engOnce sync.Once
 	eng     *engine.Engine
+
+	engMu      sync.Mutex
+	engCfg     engine.Config
+	engStarted bool
 }
 
 // NewDemoSystem builds the synthetic world behind the paper's scenarios
@@ -613,6 +662,12 @@ type BatchRequest struct {
 	Protein string
 	Methods []Method
 	Options Options
+	// Timeout, when positive, bounds this request's latency from
+	// submission (queue time included). On expiry the Monte Carlo
+	// methods return truncated partial rankings (BatchResult.Truncated)
+	// instead of an error. It layers onto (never extends) any deadline
+	// on the QueryBatchCtx context.
+	Timeout time.Duration
 }
 
 // BatchResult is the outcome of one BatchRequest.
@@ -625,17 +680,63 @@ type BatchResult struct {
 	Rankings map[Method][]ScoredAnswer
 	// Cached records which methods were served from the engine's LRU.
 	Cached map[Method]bool
+	// Truncated records which methods were cut short by a deadline and
+	// returned partial (but interval-valid) rankings. Truncated results
+	// are never cached.
+	Truncated map[Method]bool
 	// Answers is the shared answer-set handle the methods were scored
 	// on.
 	Answers *Answers
 }
 
+// EngineConfig tunes the lazily started batch engine. The zero value
+// keeps the historical defaults: GOMAXPROCS workers, the default LRU
+// sizes, and no admission control.
+type EngineConfig struct {
+	// Workers is the worker-pool size; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize is the result-LRU capacity; 0 means the engine default,
+	// negative disables caching.
+	CacheSize int
+	// MaxInFlight caps concurrently executing requests; 0 means the
+	// worker count.
+	MaxInFlight int
+	// MaxQueue caps admitted requests waiting beyond the in-flight set.
+	// When either MaxInFlight or MaxQueue is positive, requests beyond
+	// capacity are shed with ErrOverloaded instead of queueing
+	// unboundedly; with both zero the engine accepts everything.
+	MaxQueue int
+}
+
+// ConfigureEngine sets the batch engine's configuration. It must be
+// called before the engine lazily starts (first QueryBatch, CacheStats,
+// PlanStats, EngineStats or Close); afterwards it fails with an error
+// and the running engine keeps its configuration.
+func (s *System) ConfigureEngine(cfg EngineConfig) error {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	if s.engStarted {
+		return fmt.Errorf("biorank: engine already started; ConfigureEngine must precede the first QueryBatch")
+	}
+	s.engCfg = engine.Config{
+		Workers:     cfg.Workers,
+		CacheSize:   cfg.CacheSize,
+		MaxInFlight: cfg.MaxInFlight,
+		MaxQueue:    cfg.MaxQueue,
+	}
+	return nil
+}
+
 // engineHandle lazily starts the worker-pool engine over the mediator.
 func (s *System) engineHandle() *engine.Engine {
 	s.engOnce.Do(func() {
+		s.engMu.Lock()
+		cfg := s.engCfg
+		s.engStarted = true
+		s.engMu.Unlock()
 		s.eng = engine.New(engine.ResolverFunc(func(p string) (*graph.QueryGraph, error) {
 			return s.med.Explore(p)
-		}), engine.Config{})
+		}), cfg)
 	})
 	return s.eng
 }
@@ -645,6 +746,17 @@ func (s *System) engineHandle() *engine.Engine {
 // methods, and results are memoized in an LRU keyed by query, graph
 // fingerprint, method and options. Results arrive in request order.
 func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
+	return s.QueryBatchCtx(context.Background(), reqs)
+}
+
+// QueryBatchCtx is QueryBatch under a context: cancelling it abandons
+// queued requests (their Err is the context error), while a deadline —
+// from the context or a per-request Timeout — truncates in-progress
+// Monte Carlo rankings into partial results (BatchResult.Truncated)
+// rather than failing them. Requests shed by admission control (see
+// ConfigureEngine) fail with an error matching ErrOverloaded; the
+// suggested backoff is available via RetryAfter.
+func (s *System) QueryBatchCtx(ctx context.Context, reqs []BatchRequest) []BatchResult {
 	ereqs := make([]engine.Request, len(reqs))
 	for i, r := range reqs {
 		methods := make([]string, len(r.Methods))
@@ -654,6 +766,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 		ereqs[i] = engine.Request{
 			Source:  r.Protein,
 			Methods: methods,
+			Timeout: r.Timeout,
 			Options: engine.Options{
 				Trials:    r.Options.Trials,
 				Seed:      r.Options.Seed,
@@ -668,7 +781,7 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 		}
 	}
 	out := make([]BatchResult, len(reqs))
-	for i, resp := range s.engineHandle().QueryBatch(ereqs) {
+	for i, resp := range s.engineHandle().QueryBatchCtx(ctx, ereqs) {
 		out[i] = BatchResult{Protein: resp.Source, Err: resp.Err}
 		if resp.Err != nil {
 			continue
@@ -676,12 +789,35 @@ func (s *System) QueryBatch(reqs []BatchRequest) []BatchResult {
 		out[i].Answers = &Answers{qg: resp.Graph}
 		out[i].Rankings = make(map[Method][]ScoredAnswer, len(resp.Results))
 		out[i].Cached = make(map[Method]bool, len(resp.Cached))
+		out[i].Truncated = make(map[Method]bool, len(resp.Results))
 		for name, res := range resp.Results {
 			out[i].Rankings[Method(name)] = scoredAnswers(resp.Graph, res)
 			out[i].Cached[Method(name)] = resp.Cached[name]
+			out[i].Truncated[Method(name)] = res.Truncated
 		}
 	}
 	return out
+}
+
+// ErrOverloaded is matched (errors.Is) by the per-request error of
+// batch requests shed by admission control.
+var ErrOverloaded = engine.ErrOverloaded
+
+// RetryAfter extracts the engine's suggested backoff from a load-shed
+// request error; ok is false when err is not an overload error.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var oe *engine.OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// EngineStats snapshots the batch engine's admission-control state:
+// in-flight and queued requests, the admission capacity (0 when
+// unlimited), and how many requests were shed since start.
+func (s *System) EngineStats() engine.Stats {
+	return s.engineHandle().Stats()
 }
 
 // CacheStats reports the batch engine's result-cache counters (zeros

@@ -34,9 +34,30 @@
 //	              "order":"lower" re-sorts the certified top k by the
 //	              interval lower bound (a risk-averse presentation
 //	              order).
-//	GET  /stats   Engine result- and plan-cache counters and server
+//	GET  /stats   Engine result- and plan-cache counters, admission-
+//	              control state (in-flight, queued, shed) and server
 //	              configuration.
-//	GET  /healthz Liveness probe.
+//	GET  /healthz Liveness probe: 200 as long as the process serves.
+//	GET  /readyz  Readiness probe: 200 while accepting work, 503 once
+//	              a shutdown signal flips the server into draining.
+//
+// Deadlines: -default-timeout bounds every ranking request's latency;
+// a per-request "timeoutMs" field (or query parameter) overrides it.
+// A request that runs out of budget is not failed — the Monte Carlo
+// estimators return the ranking built from the trials completed so
+// far, every answer keeps a valid confidence interval, and the
+// response carries "truncated": true.
+//
+// Overload: -max-inflight / -max-queue bound how much work may be
+// admitted at once (engine admission control for /query, an
+// equivalent server-side gate for /rank and /topk, which bypass the
+// engine). Requests beyond capacity fail fast with 429 Too Many
+// Requests and a Retry-After header estimating when capacity frees
+// up.
+//
+// Shutdown: SIGINT/SIGTERM flip /readyz to 503, stop accepting new
+// connections, and drain in-flight requests (up to -drain) before the
+// process exits — no accepted request is dropped.
 //
 // With -pprof ADDR the server additionally exposes net/http/pprof
 // profiling endpoints (/debug/pprof/...) on a separate listener, kept
@@ -46,16 +67,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"biorank"
@@ -63,10 +89,14 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		world     = flag.String("world", "demo", "world to serve: demo|hypothetical|full")
-		seed      = flag.Uint64("seed", 1, "world seed")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		addr           = flag.String("addr", ":8080", "listen address")
+		world          = flag.String("world", "demo", "world to serve: demo|hypothetical|full")
+		seed           = flag.Uint64("seed", 1, "world seed")
+		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		defaultTimeout = flag.Duration("default-timeout", 0, "per-request ranking deadline (0 disables); requests may override with timeoutMs")
+		maxInFlight    = flag.Int("max-inflight", 0, "max concurrently executing ranking requests (0 = worker count when -max-queue is set, else unlimited)")
+		maxQueue       = flag.Int("max-queue", 0, "max admitted requests waiting beyond the in-flight set; beyond it requests are shed with 429 (0 with -max-inflight 0 = unlimited)")
+		drain          = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -77,16 +107,15 @@ func main() {
 	}
 	defer sys.Close()
 
-	srv := &server{sys: sys, world: *world, started: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", srv.handleQuery)
-	mux.HandleFunc("/rank", srv.handleRank)
-	mux.HandleFunc("/topk", srv.handleTopK)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	if *maxInFlight > 0 || *maxQueue > 0 {
+		if err := sys.ConfigureEngine(biorank.EngineConfig{MaxInFlight: *maxInFlight, MaxQueue: *maxQueue}); err != nil {
+			fmt.Fprintln(os.Stderr, "biorankd:", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := newServer(sys, *world, *defaultTimeout, *maxInFlight, *maxQueue)
+	mux := srv.mux()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -97,18 +126,60 @@ func main() {
 			pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			log.Printf("biorankd: pprof on %s/debug/pprof/", *pprofAddr)
-			ps := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+			ps := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           pmux,
+				ReadHeaderTimeout: 5 * time.Second,
+				ReadTimeout:       30 * time.Second,
+				// CPU profiles block for their sampling window (30s by
+				// default), so the write timeout must comfortably exceed it.
+				WriteTimeout: 2 * time.Minute,
+				IdleTimeout:  2 * time.Minute,
+			}
 			log.Printf("biorankd: pprof server exited: %v", ps.ListenAndServe())
 		}()
 	}
 
-	log.Printf("biorankd: serving %s world on %s", *world, *addr)
+	// The write timeout caps how long one response may take end to end;
+	// keep it clear of the ranking deadline so the deadline (which
+	// degrades gracefully into a truncated ranking) always fires first.
+	writeTimeout := 2 * time.Minute
+	if *defaultTimeout > 0 && *defaultTimeout+30*time.Second > writeTimeout {
+		writeTimeout = *defaultTimeout + 30*time.Second
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
-	log.Fatal(hs.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	srv.ready.Store(true)
+	log.Printf("biorankd: serving %s world on %s", *world, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: flip readiness so load balancers stop routing here, then
+	// let in-flight requests finish before the engine is torn down.
+	srv.ready.Store(false)
+	log.Printf("biorankd: shutdown signal, draining (up to %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("biorankd: drain incomplete: %v", err)
+	}
+	log.Printf("biorankd: drained, exiting")
 }
 
 func buildSystem(world string, seed uint64) (*biorank.System, error) {
@@ -128,6 +199,151 @@ type server struct {
 	sys     *biorank.System
 	world   string
 	started time.Time
+	// defaultTimeout bounds every ranking request's latency unless the
+	// request carries its own timeoutMs; 0 disables.
+	defaultTimeout time.Duration
+	// ready is true while the server accepts work; flipped false at the
+	// start of a drain so /readyz steers load balancers away.
+	ready atomic.Bool
+	// gate admission-controls /rank and /topk, which rank directly on
+	// the request goroutine and so bypass the engine's own queue.
+	gate *gate
+}
+
+// newServer wires a handler set over a built system. maxInFlight and
+// maxQueue mirror the engine's admission limits onto the server-side
+// gate guarding the engine-bypassing endpoints.
+func newServer(sys *biorank.System, world string, defaultTimeout time.Duration, maxInFlight, maxQueue int) *server {
+	s := &server{sys: sys, world: world, started: time.Now(), defaultTimeout: defaultTimeout}
+	if maxInFlight > 0 || maxQueue > 0 {
+		capacity := maxInFlight
+		if capacity <= 0 {
+			capacity = 1
+		}
+		s.gate = &gate{capacity: capacity + maxQueue}
+	}
+	return s
+}
+
+// mux routes the server's endpoints.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/rank", s.handleRank)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", s.handleReady)
+	return mux
+}
+
+// handleReady is the readiness probe: 503 while starting up or
+// draining, 200 otherwise. Liveness (/healthz) stays 200 throughout a
+// drain — the process is healthy, just not accepting new work.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// gate is the server-side admission control for endpoints that rank on
+// the request goroutine instead of the engine pool: at most capacity
+// requests may be in the handler at once, the rest are shed with a
+// service-time-derived retry hint (mirroring the engine's policy).
+type gate struct {
+	capacity int
+	pending  atomic.Int64
+	shed     atomic.Uint64
+	avgNS    atomic.Int64
+}
+
+// acquire admits the caller (release must be called when done) or
+// sheds it with a suggested retry delay.
+func (g *gate) acquire() (release func(), retry time.Duration, ok bool) {
+	if g == nil {
+		return func() {}, 0, true
+	}
+	for {
+		n := g.pending.Load()
+		if int(n) >= g.capacity {
+			g.shed.Add(1)
+			return nil, g.retryAfter(), false
+		}
+		if g.pending.CompareAndSwap(n, n+1) {
+			start := time.Now()
+			return func() {
+				g.observe(time.Since(start))
+				g.pending.Add(-1)
+			}, 0, true
+		}
+	}
+}
+
+// observe feeds the smoothed per-request service time (EWMA, α=1/8).
+func (g *gate) observe(d time.Duration) {
+	for {
+		old := g.avgNS.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/8
+		}
+		if g.avgNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates when capacity frees up: the smoothed service
+// time times the backlog, clamped to [100ms, 30s].
+func (g *gate) retryAfter() time.Duration {
+	avg := time.Duration(g.avgNS.Load())
+	if avg <= 0 {
+		avg = 50 * time.Millisecond
+	}
+	d := avg * time.Duration(g.pending.Load()+1)
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// shedResponse writes the 429 of a load-shed request with its
+// Retry-After header (whole seconds, rounded up, minimum 1).
+func shedResponse(w http.ResponseWriter, retry time.Duration, err error) {
+	secs := int64((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	httpError(w, http.StatusTooManyRequests, err)
+}
+
+// requestTimeout resolves a request's ranking deadline: a positive
+// timeoutMs overrides the server's -default-timeout.
+func (s *server) requestTimeout(timeoutMs int) time.Duration {
+	if timeoutMs > 0 {
+		return time.Duration(timeoutMs) * time.Millisecond
+	}
+	return s.defaultTimeout
+}
+
+// rankingContext derives the context a direct (non-engine) ranking
+// runs under from the HTTP request's context and the resolved timeout.
+func (s *server) rankingContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	if to := s.requestTimeout(timeoutMs); to > 0 {
+		return context.WithTimeout(r.Context(), to)
+	}
+	return r.Context(), func() {}
 }
 
 // queryRequest is the wire form of one ranking request.
@@ -143,6 +359,10 @@ type queryRequest struct {
 	TopK     int      `json:"topk,omitempty"`
 	Worlds   bool     `json:"worlds,omitempty"`
 	Planner  bool     `json:"planner,omitempty"`
+	// TimeoutMs bounds this request's latency in milliseconds,
+	// overriding the server's -default-timeout; on expiry the ranking
+	// is returned truncated, not failed.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 func (q queryRequest) options() biorank.Options {
@@ -179,6 +399,13 @@ type queryResult struct {
 	Answers  int                       `json:"answers,omitempty"`
 	Rankings map[string][]scoredAnswer `json:"rankings,omitempty"`
 	Cached   map[string]bool           `json:"cached,omitempty"`
+	// Truncated reports that at least one method's ranking was cut
+	// short by the request deadline and holds partial (but
+	// interval-valid) estimates.
+	Truncated bool `json:"truncated,omitempty"`
+	// RetryAfterMs accompanies an overload error: the suggested backoff
+	// before retrying this request.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 }
 
 func toWire(sa []biorank.ScoredAnswer, named bool) []scoredAnswer {
@@ -213,23 +440,62 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: protein is required", i))
 			return
 		}
-		batch[i] = biorank.BatchRequest{Protein: q.Protein, Methods: q.methods(), Options: q.options()}
+		if q.TimeoutMs < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("request %d: timeoutMs must be >= 0, got %d", i, q.TimeoutMs))
+			return
+		}
+		batch[i] = biorank.BatchRequest{
+			Protein: q.Protein,
+			Methods: q.methods(),
+			Options: q.options(),
+			Timeout: s.requestTimeout(q.TimeoutMs),
+		}
 	}
-	results := s.sys.QueryBatch(batch)
+	results := s.sys.QueryBatchCtx(r.Context(), batch)
 	out := make([]queryResult, len(results))
+	allShed, maxRetry := len(results) > 0, time.Duration(0)
 	for i, res := range results {
 		out[i] = queryResult{Protein: res.Protein}
 		if res.Err != nil {
 			out[i].Error = res.Err.Error()
+			if d, ok := biorank.RetryAfter(res.Err); ok {
+				out[i].RetryAfterMs = d.Milliseconds()
+				if d > maxRetry {
+					maxRetry = d
+				}
+			} else {
+				allShed = false
+			}
 			continue
 		}
+		allShed = false
 		out[i].Answers = res.Answers.Len()
 		out[i].Rankings = make(map[string][]scoredAnswer, len(res.Rankings))
 		out[i].Cached = make(map[string]bool, len(res.Cached))
 		for m, sa := range res.Rankings {
 			out[i].Rankings[string(m)] = toWire(sa, true)
 			out[i].Cached[string(m)] = res.Cached[m]
+			if res.Truncated[m] {
+				out[i].Truncated = true
+			}
 		}
+	}
+	// A batch shed in its entirety becomes an HTTP-level 429 so plain
+	// clients back off; mixed batches stay 200 with per-result errors.
+	if allShed {
+		secs := int64((maxRetry + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"error": "overloaded", "results": out}); err != nil {
+			log.Printf("biorankd: encode: %v", err)
+		}
+		return
 	}
 	writeJSON(w, map[string]any{"results": out})
 }
@@ -252,7 +518,7 @@ func parseQueryRequests(r *http.Request) ([]queryRequest, error) {
 				*dst = b
 			}
 		}
-		for key, dst := range map[string]*int{"trials": &req.Trials, "workers": &req.Workers, "topk": &req.TopK} {
+		for key, dst := range map[string]*int{"trials": &req.Trials, "workers": &req.Workers, "topk": &req.TopK, "timeoutMs": &req.TimeoutMs} {
 			if v := q.Get(key); v != "" {
 				n, err := strconv.Atoi(v)
 				if err != nil {
@@ -299,6 +565,9 @@ type rankRequest struct {
 	Adaptive bool            `json:"adaptive,omitempty"`
 	Worlds   bool            `json:"worlds,omitempty"`
 	Planner  bool            `json:"planner,omitempty"`
+	// TimeoutMs bounds the ranking's latency in milliseconds,
+	// overriding -default-timeout; expiry truncates rather than fails.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // handleRank ranks a caller-supplied query graph under the requested
@@ -317,6 +586,16 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("graph is required"))
 		return
 	}
+	if req.TimeoutMs < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("timeoutMs must be >= 0, got %d", req.TimeoutMs))
+		return
+	}
+	release, retry, ok := s.gate.acquire()
+	if !ok {
+		shedResponse(w, retry, errors.New("overloaded"))
+		return
+	}
+	defer release()
 	ans := &biorank.Answers{}
 	if err := ans.UnmarshalJSON(req.Graph); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad graph: %v", err))
@@ -327,22 +606,32 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	for i, m := range req.Methods {
 		methods[i] = biorank.Method(m)
 	}
-	all, err := ans.RankAll(opts, methods...)
+	ctx, cancel := s.rankingContext(r, req.TimeoutMs)
+	defer cancel()
+	all, truncated, err := ans.RankAllCtx(ctx, opts, methods...)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	rankings := make(map[string][]scoredAnswer, len(all))
+	anyTruncated := false
 	for m, sa := range all {
 		rankings[string(m)] = toWire(sa, false)
+		if truncated[m] {
+			anyTruncated = true
+		}
 	}
 	nodes, edges := ans.GraphSize()
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"answers":  ans.Len(),
 		"nodes":    nodes,
 		"edges":    edges,
 		"rankings": rankings,
-	})
+	}
+	if anyTruncated {
+		resp["truncated"] = true
+	}
+	writeJSON(w, resp)
 }
 
 // topkRequest is the wire form of /topk. Order "lower" re-sorts the
@@ -356,6 +645,10 @@ type topkRequest struct {
 	Worlds  bool   `json:"worlds,omitempty"`
 	Planner bool   `json:"planner,omitempty"`
 	Order   string `json:"order,omitempty"`
+	// TimeoutMs bounds the race's latency in milliseconds, overriding
+	// -default-timeout; expiry returns the current standings with
+	// "truncated": true instead of failing.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // topkAnswer is one certified top-k answer on the wire, with its
@@ -380,7 +673,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		q := r.URL.Query()
 		req.Protein = q.Get("protein")
-		for key, dst := range map[string]*int{"k": &req.K, "trials": &req.Trials} {
+		for key, dst := range map[string]*int{"k": &req.K, "trials": &req.Trials, "timeoutMs": &req.TimeoutMs} {
 			if v := q.Get(key); v != "" {
 				n, err := strconv.Atoi(v)
 				if err != nil {
@@ -433,12 +726,24 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("order must be \"score\" or \"lower\", got %q", req.Order))
 		return
 	}
+	if req.TimeoutMs < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("timeoutMs must be >= 0, got %d", req.TimeoutMs))
+		return
+	}
+	release, retry, ok := s.gate.acquire()
+	if !ok {
+		shedResponse(w, retry, errors.New("overloaded"))
+		return
+	}
+	defer release()
 	ans, err := s.sys.Query(req.Protein)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	res, err := ans.TopK(req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Worlds: req.Worlds, Planner: req.Planner})
+	ctx, cancel := s.rankingContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := ans.TopKCtx(ctx, req.K, biorank.Options{Trials: req.Trials, Seed: req.Seed, Reduce: req.Reduce, Worlds: req.Worlds, Planner: req.Planner})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -462,7 +767,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		// equal lower bounds keep the score order.
 		sort.SliceStable(answers, func(i, j int) bool { return answers[i].Lo > answers[j].Lo })
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"protein":         req.Protein,
 		"k":               req.K,
 		"candidates":      res.Candidates,
@@ -472,20 +777,34 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		"rounds":          res.Rounds,
 		"exactAnswers":    res.ExactAnswers,
 		"answers":         answers,
-	})
+	}
+	if res.Truncated {
+		resp["truncated"] = true
+	}
+	writeJSON(w, resp)
 }
 
 // handleStats reports engine result- and plan-cache counters and server
 // configuration.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"world":    s.world,
 		"uptime":   time.Since(s.started).String(),
 		"proteins": len(s.sys.Proteins()),
 		"sources":  s.sys.Sources(),
 		"cache":    s.sys.CacheStats(),
 		"plans":    s.sys.PlanStats(),
-	})
+		"engine":   s.sys.EngineStats(),
+		"ready":    s.ready.Load(),
+	}
+	if s.gate != nil {
+		out["gate"] = map[string]any{
+			"pending":  s.gate.pending.Load(),
+			"capacity": s.gate.capacity,
+			"shed":     s.gate.shed.Load(),
+		}
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

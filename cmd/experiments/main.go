@@ -6,7 +6,7 @@
 //
 // Extensions beyond the paper run only when named explicitly:
 //
-//	experiments ablation scaling racer worlds planner stability
+//	experiments ablation scaling racer worlds planner stability degradation
 //
 // Output is printed as fixed-width text tables with the paper's reported
 // values alongside for comparison; EXPERIMENTS.md is generated from this
@@ -195,6 +195,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderStability(res))
+			return nil
+		})
+	}
+	if want["degradation"] {
+		run("degradation", func() error {
+			res, err := suite.AnytimeDegradation(0)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderDegradation(res))
 			return nil
 		})
 	}

@@ -17,7 +17,24 @@
 // simulated trials/sec, so the bit-parallel kernel's speedup is visible
 // end to end rather than only in microbenchmarks.
 //
-// With -addr it instead targets a running biorankd over HTTP:
+// Every pass reports its shed rate (requests rejected by admission
+// control, zero unless the target enforces capacity) and truncated
+// rate (rankings cut short by a deadline). -request-timeout puts a
+// per-request deadline on the workload; overloaded or slow targets
+// then degrade into truncated partial rankings instead of timing out.
+//
+// -mode overload is the failure-drill: it caps the in-process engine
+// at -max-inflight/-max-queue (tiny by default), fires single-query
+// batches from every client at once, and reports the shed rate next
+// to the served requests' latency percentiles — demonstrating that
+// load shedding keeps served latency bounded instead of letting the
+// queue grow without limit.
+//
+//	go run ./examples/loadgen -mode overload -clients 32 -rounds 20
+//
+// With -addr it instead targets a running biorankd over HTTP (start it
+// with -max-queue/-max-inflight to see shedding, -default-timeout to
+// see truncation):
 //
 //	go run ./cmd/biorankd &
 //	go run ./examples/loadgen -addr http://localhost:8080 -clients 8
@@ -26,6 +43,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -43,13 +61,16 @@ import (
 
 func main() {
 	var (
-		clients = flag.Int("clients", 8, "concurrent client goroutines")
-		rounds  = flag.Int("rounds", 5, "batches each client issues")
-		trials  = flag.Int("trials", 500, "Monte Carlo trials per reliability query (cap in adaptive mode)")
-		seed    = flag.Uint64("seed", 1, "world and simulation seed")
-		addr    = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
-		mode    = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|worlds|planner|both|all")
-		topk    = flag.Int("k", 5, "k for -mode topk (certified top-k racing)")
+		clients     = flag.Int("clients", 8, "concurrent client goroutines")
+		rounds      = flag.Int("rounds", 5, "batches each client issues")
+		trials      = flag.Int("trials", 500, "Monte Carlo trials per reliability query (cap in adaptive mode)")
+		seed        = flag.Uint64("seed", 1, "world and simulation seed")
+		addr        = flag.String("addr", "", "biorankd base URL; empty = in-process engine")
+		mode        = flag.String("mode", "both", "reliability estimator: fixed|adaptive|topk|worlds|planner|both|all|overload")
+		topk        = flag.Int("k", 5, "k for -mode topk (certified top-k racing)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request ranking deadline (0 = none); expiry truncates, not fails")
+		maxInFlight = flag.Int("max-inflight", 2, "engine in-flight cap for -mode overload (in-process only)")
+		maxQueue    = flag.Int("max-queue", 2, "engine queue cap for -mode overload (in-process only)")
 	)
 	flag.Parse()
 
@@ -75,8 +96,17 @@ func main() {
 		modes = []string{"fixed", "adaptive"}
 	case "all":
 		modes = []string{"fixed", "adaptive", "topk", "worlds", "planner"}
+	case "overload":
+		modes = []string{"overload"}
+		if *addr == "" {
+			// Cap the engine so the drill actually sheds; must happen
+			// before the first batch lazily starts it.
+			if err := sys.ConfigureEngine(biorank.EngineConfig{MaxInFlight: *maxInFlight, MaxQueue: *maxQueue}); err != nil {
+				log.Fatal(err)
+			}
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|planner|both|all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|planner|both|all|overload)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -103,18 +133,27 @@ func main() {
 			opts.Trials = 10 * *trials
 			opts.Planner = true
 		}
-		run(sys, *clients, *rounds, *addr, m, opts)
+		run(sys, *clients, *rounds, *addr, m, opts, *reqTimeout)
 	}
 }
 
 // run fires the closed-loop workload once and reports its metrics.
-func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biorank.Options) {
+func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biorank.Options, reqTimeout time.Duration) {
 	proteins := sys.Proteins()
 	// The racer and the planner only change reliability, so those passes
 	// measure that method alone; the other modes rank all five semantics.
+	// The overload drill also sticks to one method: the point is the
+	// admission behavior, not the ranking breadth.
 	var methods []biorank.Method
-	if mode == "topk" || mode == "planner" {
+	if mode == "topk" || mode == "planner" || mode == "overload" {
 		methods = []biorank.Method{biorank.Reliability}
+	}
+	// Single-query batches keep the overload drill's shed accounting
+	// per-request; the throughput modes batch four queries like a real
+	// multi-query client.
+	batchSize := 4
+	if mode == "overload" {
+		batchSize = 1
 	}
 	// Modes with an a-priori budget simulate a known number of trials
 	// per reliability query: the flag value for the scalar kernel, the
@@ -129,38 +168,60 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 			relTrials = kernel.WorldWords(relTrials) * kernel.WordSize
 		}
 	}
-	var queries, methodsScored, errs atomic.Int64
+	var queries, methodsScored, errs, shed, truncated atomic.Int64
 	latencies := make([][]time.Duration, clients)
+	servedLatencies := make([][]time.Duration, clients)
 
 	work := func(client int) {
 		lats := make([]time.Duration, 0, rounds)
+		served := make([]time.Duration, 0, rounds)
 		for round := 0; round < rounds; round++ {
 			// Each client walks the protein list from its own offset so
 			// early rounds mix cache misses and hits realistically.
-			batch := make([]biorank.BatchRequest, 0, 4)
-			for k := 0; k < 4; k++ {
+			batch := make([]biorank.BatchRequest, 0, batchSize)
+			for k := 0; k < batchSize; k++ {
 				p := proteins[(client*4+round+k)%len(proteins)]
-				batch = append(batch, biorank.BatchRequest{Protein: p, Methods: methods, Options: opts})
+				batch = append(batch, biorank.BatchRequest{Protein: p, Methods: methods, Options: opts, Timeout: reqTimeout})
 			}
 			start := time.Now()
+			batchShed := int64(0)
 			if addr != "" {
-				n, m, e := httpBatch(addr, batch, opts)
-				queries.Add(n)
-				methodsScored.Add(m)
-				errs.Add(e)
+				st := httpBatch(addr, batch, opts, reqTimeout)
+				queries.Add(st.ok)
+				methodsScored.Add(st.methods)
+				errs.Add(st.errs)
+				shed.Add(st.shed)
+				truncated.Add(st.truncated)
+				batchShed = st.shed
 			} else {
 				for _, res := range sys.QueryBatch(batch) {
 					if res.Err != nil {
-						errs.Add(1)
+						if errors.Is(res.Err, biorank.ErrOverloaded) {
+							shed.Add(1)
+							batchShed++
+						} else {
+							errs.Add(1)
+						}
 						continue
 					}
 					queries.Add(1)
 					methodsScored.Add(int64(len(res.Rankings)))
+					for _, tr := range res.Truncated {
+						if tr {
+							truncated.Add(1)
+							break
+						}
+					}
 				}
 			}
-			lats = append(lats, time.Since(start))
+			lat := time.Since(start)
+			lats = append(lats, lat)
+			if batchShed == 0 {
+				served = append(served, lat)
+			}
 		}
 		latencies[client] = lats
+		servedLatencies[client] = served
 	}
 
 	start := time.Now()
@@ -175,12 +236,15 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	for _, ls := range latencies {
-		all = append(all, ls...)
+	var all, servedAll []time.Duration
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+		servedAll = append(servedAll, servedLatencies[c]...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(servedAll, func(i, j int) bool { return servedAll[i] < servedAll[j] })
 
+	attempted := queries.Load() + errs.Load() + shed.Load()
 	fmt.Printf("loadgen[%s]: %d clients x %d rounds against %s\n",
 		mode, clients, rounds, target(addr))
 	fmt.Printf("  %d queries ranked (%d method evaluations, %d errors) in %v\n",
@@ -188,11 +252,20 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 	fmt.Printf("  throughput: %.1f queries/sec, %.1f method evaluations/sec\n",
 		float64(queries.Load())/elapsed.Seconds(),
 		float64(methodsScored.Load())/elapsed.Seconds())
+	fmt.Printf("  shed: %d/%d (%.1f%%), truncated: %d/%d (%.1f%%)\n",
+		shed.Load(), attempted, rate(shed.Load(), attempted),
+		truncated.Load(), queries.Load(), rate(truncated.Load(), queries.Load()))
 	fmt.Printf("  batch latency: p50=%v p95=%v p99=%v max=%v (n=%d)\n",
 		percentile(all, 0.50).Round(time.Microsecond),
 		percentile(all, 0.95).Round(time.Microsecond),
 		percentile(all, 0.99).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond), len(all))
+	if mode == "overload" && len(servedAll) > 0 {
+		fmt.Printf("  served latency: p50=%v p95=%v p99=%v (n=%d; sheds excluded — the bound shedding buys)\n",
+			percentile(servedAll, 0.50).Round(time.Microsecond),
+			percentile(servedAll, 0.95).Round(time.Microsecond),
+			percentile(servedAll, 0.99).Round(time.Microsecond), len(servedAll))
+	}
 	if relTrials > 0 {
 		fmt.Printf("  simulation: %d trials/query, %.0f trials/sec\n",
 			relTrials, float64(queries.Load()*int64(relTrials))/elapsed.Seconds())
@@ -200,7 +273,18 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 	if addr == "" {
 		fmt.Printf("  result cache: %+v\n", sys.CacheStats())
 		fmt.Printf("  plan cache:   %+v\n", sys.PlanStats())
+		if es := sys.EngineStats(); es.Capacity > 0 {
+			fmt.Printf("  engine:       %+v\n", es)
+		}
 	}
+}
+
+// rate is a safe percentage.
+func rate(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
 }
 
 // percentile returns the p-quantile of sorted latencies (nearest-rank).
@@ -225,19 +309,25 @@ func target(addr string) string {
 	return addr
 }
 
-// httpBatch issues one /query batch against a biorankd instance and
-// returns (queries ok, method evaluations, errors).
-func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) (int64, int64, int64) {
+// httpStats tallies one HTTP batch: served queries, method
+// evaluations, hard errors, load-shed requests and truncated rankings.
+type httpStats struct {
+	ok, methods, errs, shed, truncated int64
+}
+
+// httpBatch issues one /query batch against a biorankd instance.
+func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options, reqTimeout time.Duration) httpStats {
 	type wireReq struct {
-		Protein  string   `json:"protein"`
-		Methods  []string `json:"methods,omitempty"`
-		Trials   int      `json:"trials"`
-		Seed     uint64   `json:"seed"`
-		Reduce   bool     `json:"reduce"`
-		Adaptive bool     `json:"adaptive"`
-		TopK     int      `json:"topk,omitempty"`
-		Worlds   bool     `json:"worlds,omitempty"`
-		Planner  bool     `json:"planner,omitempty"`
+		Protein   string   `json:"protein"`
+		Methods   []string `json:"methods,omitempty"`
+		Trials    int      `json:"trials"`
+		Seed      uint64   `json:"seed"`
+		Reduce    bool     `json:"reduce"`
+		Adaptive  bool     `json:"adaptive"`
+		TopK      int      `json:"topk,omitempty"`
+		Worlds    bool     `json:"worlds,omitempty"`
+		Planner   bool     `json:"planner,omitempty"`
+		TimeoutMs int      `json:"timeoutMs,omitempty"`
 	}
 	reqs := make([]wireReq, len(batch))
 	for i, b := range batch {
@@ -245,7 +335,7 @@ func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) 
 		for j, m := range b.Methods {
 			methods[j] = string(m)
 		}
-		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK, Worlds: opts.Worlds, Planner: opts.Planner}
+		reqs[i] = wireReq{Protein: b.Protein, Methods: methods, Trials: opts.Trials, Seed: opts.Seed, Reduce: opts.Reduce, Adaptive: opts.Adaptive, TopK: opts.TopK, Worlds: opts.Worlds, Planner: opts.Planner, TimeoutMs: int(reqTimeout.Milliseconds())}
 	}
 	body, err := json.Marshal(map[string]any{"requests": reqs})
 	if err != nil {
@@ -253,26 +343,38 @@ func httpBatch(base string, batch []biorank.BatchRequest, opts biorank.Options) 
 	}
 	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, int64(len(batch))
+		return httpStats{errs: int64(len(batch))}
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return httpStats{shed: int64(len(batch))}
+	}
 	var out struct {
 		Results []struct {
-			Error    string                       `json:"error"`
-			Rankings map[string][]json.RawMessage `json:"rankings"`
+			Error        string                       `json:"error"`
+			Rankings     map[string][]json.RawMessage `json:"rankings"`
+			Truncated    bool                         `json:"truncated"`
+			RetryAfterMs int64                        `json:"retryAfterMs"`
 		} `json:"results"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, 0, int64(len(batch))
+		return httpStats{errs: int64(len(batch))}
 	}
-	var ok, methods, errs int64
+	var st httpStats
 	for _, r := range out.Results {
 		if r.Error != "" {
-			errs++
+			if r.RetryAfterMs > 0 {
+				st.shed++
+			} else {
+				st.errs++
+			}
 			continue
 		}
-		ok++
-		methods += int64(len(r.Rankings))
+		st.ok++
+		st.methods += int64(len(r.Rankings))
+		if r.Truncated {
+			st.truncated++
+		}
 	}
-	return ok, methods, errs
+	return st
 }

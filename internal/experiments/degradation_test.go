@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnytimeDegradation(t *testing.T) {
+	s, err := NewSuite(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.AnytimeDegradation(0) // per-graph default: 4 batch hints
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 5 {
+		t.Fatalf("want 5 deadline steps, got %d", len(res.Steps))
+	}
+	if res.Graphs != len(s.Graphs12) {
+		t.Fatalf("graphs %d, want %d", res.Graphs, len(s.Graphs12))
+	}
+
+	first, last := res.Steps[0], res.Steps[len(res.Steps)-1]
+	// An immediately-expired deadline truncates every graph; no deadline
+	// truncates none and reproduces the full run bit for bit (tau = 1).
+	if first.Fraction != 0 || first.Truncated != res.Graphs {
+		t.Fatalf("zero-budget step should truncate all %d graphs: %+v", res.Graphs, first)
+	}
+	if last.Truncated != 0 {
+		t.Fatalf("deadline-free step reported truncation: %+v", last)
+	}
+	if last.Pairs != res.Graphs || last.MeanTau < 0.9999 {
+		t.Fatalf("deadline-free step should match the full run exactly: %+v", last)
+	}
+
+	for _, st := range res.Steps {
+		if st.Pairs > 0 {
+			if math.IsNaN(st.MeanTau) || st.MeanTau < -1 || st.MeanTau > 1 {
+				t.Fatalf("mean tau out of range: %+v", st)
+			}
+			if st.MinTau < -1 || st.MinTau > 1 {
+				t.Fatalf("min tau out of range: %+v", st)
+			}
+		}
+	}
+	// More budget never truncates more graphs.
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i].Truncated > res.Steps[i-1].Truncated {
+			t.Fatalf("truncation count grew with budget: %+v -> %+v", res.Steps[i-1], res.Steps[i])
+		}
+	}
+
+	if out := RenderDegradation(res); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

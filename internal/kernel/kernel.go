@@ -208,6 +208,34 @@ func (p *Plan) Matches(qg *graph.QueryGraph) bool {
 	return true
 }
 
+// BatchHint returns a Monte Carlo trial-chunk size for callers that
+// check a context (or other stop signal) between kernel calls: large
+// enough that per-call overhead amortizes to noise, small enough that a
+// cancelled deadline is noticed within roughly a millisecond on typical
+// hardware. The hint shrinks as the plan grows (per-trial cost scales
+// with the reachable element count) and is always a multiple of
+// BlockSize, so bit-parallel world batches chunk on whole [4]uint64
+// blocks — a chunked run then consumes the block kernel's RNG stream
+// exactly like a one-shot run, and scores stay bit-identical for a
+// fixed seed. Cancellation checks belong at these chunk boundaries,
+// never inside the per-trial lane loops.
+func (p *Plan) BatchHint() int {
+	// ~2M element-visits per chunk: ~1ms at the kernels' measured
+	// throughput, conservatively assuming every trial touches the whole
+	// plan (lazy traversal usually touches far less, making chunks only
+	// cheaper, never slower to interrupt).
+	const targetOps = 2 << 20
+	const maxChunk = 1 << 14
+	chunk := targetOps / (p.n + p.m + 1)
+	if chunk >= maxChunk {
+		return maxChunk
+	}
+	if chunk <= BlockSize {
+		return BlockSize
+	}
+	return chunk - chunk%BlockSize
+}
+
 // ScoresFromCounts converts per-node reach counts accumulated over
 // trials into per-answer scores. scores must have length NumAnswers.
 func (p *Plan) ScoresFromCounts(counts []int64, trials int, scores []float64) {

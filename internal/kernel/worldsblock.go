@@ -250,6 +250,59 @@ func (p *Plan) traverseWorldsBlock(sc *Scratch, live []bool, words int, rng *pro
 	}
 }
 
+// WorldsBlockSession chunk-runs the block kernel over ONE logical
+// word-trial stream. ReliabilityCountsWorldsBlock derives its four
+// lane RNG streams from a fresh root draw on every call, so splitting
+// a run into several calls would restart the lane family mid-run and
+// change the sampled worlds. A session borrows the lane streams once,
+// on the first call that simulates a whole block, and keeps them
+// across calls: the concatenation of Counts calls consumes randomness
+// exactly like a single call over the summed words — the property the
+// deadline-aware estimators need to put context checks between chunks
+// without perturbing a completed run's scores. Every call but the last
+// must pass a multiple of BlockWords words (rank's chunk sizes are
+// BlockSize-multiples of trials, which guarantees it); the final call
+// may be ragged and runs its remainder words on the caller RNG's
+// single-word kernel, exactly like the one-shot entry point. Not safe
+// for concurrent use; shards hold one session each.
+type WorldsBlockSession struct {
+	p       *Plan
+	rng     *prob.RNG
+	br      blockRNG
+	started bool
+}
+
+// NewWorldsBlockSession starts a session on p drawing from rng.
+func (p *Plan) NewWorldsBlockSession(rng *prob.RNG) *WorldsBlockSession {
+	return &WorldsBlockSession{p: p, rng: rng}
+}
+
+// Counts runs words 64-world word-trials and ADDS per-node reach
+// counts into counts (length NumNodes), continuing the session's lane
+// streams. The caller accounts words·WordSize trials per call.
+func (s *WorldsBlockSession) Counts(counts []int64, words int, ops *SimOps) {
+	p := s.p
+	p.checkCounts(counts)
+	nBlocks := words / BlockWords
+	rem := words - nBlocks*BlockWords
+	sc := p.getScratch()
+	sc.resetCounts()
+	if nBlocks > 0 {
+		if !s.started {
+			s.br = borrowBlockRNG(s.rng)
+			s.started = true
+		}
+		p.traverseBlocksWith(sc, nil, nBlocks, &s.br, ops)
+	}
+	if rem > 0 {
+		p.traverseWorlds(sc, nil, rem, s.rng, ops)
+	}
+	for i := 0; i < p.n; i++ {
+		counts[i] += sc.nodes[i].count
+	}
+	p.putScratch(sc)
+}
+
 // traverseBlocks is the block-parallel inner loop: a monotone frontier
 // fixpoint over the CSR plan, BlockSize worlds per pass. The structure
 // is traverseWorlds with every mask widened to BlockWords lanes and the
@@ -259,6 +312,16 @@ func (p *Plan) traverseWorldsBlock(sc *Scratch, live []bool, words int, rng *pro
 // non-nil, restricts the traversal to the active-subset closure exactly
 // like traverseMasked.
 func (p *Plan) traverseBlocks(sc *Scratch, live []bool, nBlocks int, rng *prob.RNG, ops *SimOps) {
+	br := borrowBlockRNG(rng)
+	p.traverseBlocksWith(sc, live, nBlocks, &br, ops)
+}
+
+// traverseBlocksWith is traverseBlocks on caller-held lane streams. It
+// exists so WorldsBlockSession can keep one blockRNG alive across
+// chunked calls: lane-stream derivation happens once per logical run,
+// not once per call, which makes chunked runs consume randomness
+// exactly like one-shot runs.
+func (p *Plan) traverseBlocksWith(sc *Scratch, live []bool, nBlocks int, br *blockRNG, ops *SimOps) {
 	bs := sc.blocks(p)
 	wn := bs.node
 	inq := bs.inq
@@ -268,7 +331,6 @@ func (p *Plan) traverseBlocks(sc *Scratch, live []bool, nBlocks int, rng *prob.R
 	src := p.source
 	srcPB := p.nodePBits[src]
 	var flips, visits int64
-	br := borrowBlockRNG(rng)
 
 	for w := 0; w < nBlocks; w++ {
 		cur := bs.nextEpoch()

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -81,7 +82,16 @@ func (a *AdaptiveMonteCarlo) params() (eps, delta float64, batch, maxTrials int)
 
 // Rank implements Ranker.
 func (a *AdaptiveMonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
-	res, _, err := a.RankWithStats(qg)
+	res, _, err := a.rankWithStats(context.Background(), qg)
+	return res, err
+}
+
+// RankCtx implements CtxRanker: the context is checked between
+// adaptive batches, and an expired deadline returns the scores of the
+// batches that DID run with Wilson intervals and Result.Truncated set —
+// the stopping rule simply fires early.
+func (a *AdaptiveMonteCarlo) RankCtx(ctx context.Context, qg *graph.QueryGraph) (Result, error) {
+	res, _, err := a.rankWithStats(ctx, qg)
 	return res, err
 }
 
@@ -99,6 +109,10 @@ func (a *AdaptiveMonteCarlo) RankWithTrials(qg *graph.QueryGraph) ([]float64, in
 // the number of trials the stopping rule actually ran (compare
 // DefaultTrials for the fixed a-priori budget).
 func (a *AdaptiveMonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStats, error) {
+	return a.rankWithStats(context.Background(), qg)
+}
+
+func (a *AdaptiveMonteCarlo) rankWithStats(ctx context.Context, qg *graph.QueryGraph) (Result, OpStats, error) {
 	if err := validate(qg); err != nil {
 		return Result{}, OpStats{}, err
 	}
@@ -106,22 +120,24 @@ func (a *AdaptiveMonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStat
 	res := Result{Method: a.Name()}
 	if a.Reduce {
 		red, _, mapping := ReduceAll(qg)
-		inner := a.simulate(kernel.Compile(red), &ops)
-		res.Scores = make([]float64, len(qg.Answers))
-		for i, j := range mapping {
-			if j >= 0 {
-				res.Scores[i] = inner[j]
-			}
-		}
+		inner := a.simulate(ctx, kernel.Compile(red), &ops)
+		mapReducedOutcome(len(qg.Answers), mapping, inner, &res)
 		return res, ops, nil
 	}
-	res.Scores = a.simulate(a.memo.For(qg, a.Plan), &ops)
+	out := a.simulate(ctx, a.memo.For(qg, a.Plan), &ops)
+	res.Scores = out.scores
+	if out.truncated {
+		res.Truncated = true
+		res.Lo, res.Hi = out.lo, out.hi
+	}
 	return res, ops, nil
 }
 
 // simulate runs kernel batches until the stopping rule certifies the
-// observed (top-K) order or MaxTrials is reached.
-func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64 {
+// observed (top-K) order, MaxTrials is reached, or ctx expires — the
+// last case marks the outcome truncated and attaches Wilson intervals
+// over the trials that ran.
+func (a *AdaptiveMonteCarlo) simulate(ctx context.Context, plan *kernel.Plan, ops *OpStats) simOutcome {
 	eps, delta, batch, maxTrials := a.params()
 	if a.Worlds {
 		// The bit-parallel kernel simulates whole 64-world words, so the
@@ -139,7 +155,12 @@ func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64
 	scores := make([]float64, plan.NumAnswers())
 	var so kernel.SimOps
 	trials := 0
+	truncated := false
 	for trials < maxTrials {
+		if ctxErr(ctx) != nil {
+			truncated = true
+			break
+		}
 		b := batch
 		if trials+b > maxTrials {
 			b = maxTrials - trials // honor the cap exactly
@@ -163,8 +184,14 @@ func (a *AdaptiveMonteCarlo) simulate(plan *kernel.Plan, ops *OpStats) []float64
 	if ops != nil {
 		ops.merge(opsFromSim(so))
 	}
-	plan.ScoresFromCounts(total, trials, scores)
-	return scores
+	if trials > 0 {
+		plan.ScoresFromCounts(total, trials, scores)
+	}
+	out := simOutcome{scores: scores, executed: trials, truncated: truncated}
+	if truncated {
+		out.lo, out.hi = wilsonTallyBounds(plan, total, trials)
+	}
+	return out
 }
 
 // certified reports whether, at the current trial count, every adjacent

@@ -1,0 +1,91 @@
+package rank
+
+import (
+	"context"
+
+	"biorank/internal/kernel"
+)
+
+// Deadline-aware estimation support shared by the Monte Carlo
+// estimators. The contract (see Result.Truncated): estimators check
+// their context only at batch boundaries — never inside kernel inner
+// loops — and an expired deadline yields the partial tallies computed
+// so far, with valid confidence intervals, instead of an error. The
+// anytime structure of the estimators (chunked fixed-budget simulation,
+// adaptive batches, racer rounds, planner races) makes the best answer
+// so far always well defined.
+
+// truncationAlpha is the confidence level of the Wilson/Jeffreys
+// intervals attached to truncated tallies: 95%, matching the paper's
+// Theorem 3.1 delta and the racer's default Delta.
+const truncationAlpha = 0.05
+
+// ctxErr returns ctx's error without touching the (comparatively
+// expensive) Err() path for contexts that can never be cancelled; the
+// uncancellable case is the hot path of every non-deadline caller.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// chunkFor picks the unit-chunk size for ctx checks between kernel
+// calls: the whole run when ctx can never fire (one kernel call, zero
+// overhead), otherwise the plan's BatchHint. Under worlds the unit is
+// the 64-world word and chunks stay whole [4]uint64 blocks, so a
+// chunked run consumes the block kernel's RNG stream exactly like a
+// one-shot run.
+func chunkFor(ctx context.Context, plan *kernel.Plan, units int, worlds bool) int {
+	if ctx == nil || ctx.Done() == nil {
+		return units
+	}
+	hint := plan.BatchHint() // always a BlockSize multiple
+	if worlds {
+		return hint / kernel.WordSize
+	}
+	return hint
+}
+
+// mapReducedOutcome maps a simulation outcome computed on a reduced
+// graph back onto the original answer set through the reduction
+// mapping. Answers the reductions dropped (mapping[i] < 0) are
+// certainly unreachable: their zero score is exact, so on truncation
+// the zero-valued [0,0] interval the make leaves behind is correct.
+func mapReducedOutcome(nA int, mapping []int, out simOutcome, res *Result) {
+	res.Scores = make([]float64, nA)
+	for i, j := range mapping {
+		if j >= 0 {
+			res.Scores[i] = out.scores[j]
+		}
+	}
+	if out.truncated {
+		res.Truncated = true
+		res.Lo = make([]float64, nA)
+		res.Hi = make([]float64, nA)
+		for i, j := range mapping {
+			if j >= 0 {
+				res.Lo[i], res.Hi[i] = out.lo[j], out.hi[j]
+			}
+		}
+	}
+}
+
+// wilsonTallyBounds builds per-answer Wilson intervals from the raw
+// per-node reach tallies of an interrupted simulation. counts may be
+// nil and executed may be zero (a deadline that expired before the
+// first batch), in which case every interval is the vacuous [0,1] —
+// still a valid bound around the zero scores reported with it.
+func wilsonTallyBounds(plan *kernel.Plan, counts []int64, executed int) (lo, hi []float64) {
+	nA := plan.NumAnswers()
+	lo = make([]float64, nA)
+	hi = make([]float64, nA)
+	for i := 0; i < nA; i++ {
+		var s int64
+		if counts != nil && executed > 0 {
+			s = counts[plan.AnswerNode(i)]
+		}
+		lo[i], hi[i] = WilsonInterval(s, int64(executed), truncationAlpha)
+	}
+	return lo, hi
+}

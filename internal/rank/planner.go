@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -102,8 +103,28 @@ func (p *HybridPlanner) Rank(qg *graph.QueryGraph) (Result, error) {
 	return res, err
 }
 
+// RankCtx implements CtxRanker: the context is checked between
+// per-answer exact probes and between racer rounds. On expiry the
+// remaining unprobed answers route to the race, which immediately
+// truncates — their intervals degrade to the vacuous [0,1] while
+// already-probed exact answers keep their zero-width bounds.
+func (p *HybridPlanner) RankCtx(ctx context.Context, qg *graph.QueryGraph) (Result, error) {
+	res, _, err := p.rankWithStats(ctx, qg)
+	return res, err
+}
+
 // RankWithStats ranks and reports the planner telemetry.
 func (p *HybridPlanner) RankWithStats(qg *graph.QueryGraph) (Result, PlannerStats, error) {
+	return p.rankWithStats(context.Background(), qg)
+}
+
+// RankWithStatsCtx is RankWithStats under a context, with RankCtx's
+// truncation semantics (Result.Truncated, PlannerStats.RaceStats).
+func (p *HybridPlanner) RankWithStatsCtx(ctx context.Context, qg *graph.QueryGraph) (Result, PlannerStats, error) {
+	return p.rankWithStats(ctx, qg)
+}
+
+func (p *HybridPlanner) rankWithStats(ctx context.Context, qg *graph.QueryGraph) (Result, PlannerStats, error) {
 	if err := validate(qg); err != nil {
 		return Result{}, PlannerStats{}, err
 	}
@@ -116,6 +137,11 @@ func (p *HybridPlanner) RankWithStats(qg *graph.QueryGraph) (Result, PlannerStat
 	exact := make([]bool, nA)
 	var priors []exactPrior
 	for i, t := range qg.Answers {
+		if ctxErr(ctx) != nil {
+			// Out of time mid-probe: the unprobed remainder joins the
+			// Monte Carlo race, whose own ctx check will truncate it.
+			break
+		}
 		v, steps, err := exactTarget(qg, t, budget)
 		ps.Conditionings += steps
 		if err != nil {
@@ -149,8 +175,9 @@ func (p *HybridPlanner) RankWithStats(qg *graph.QueryGraph) (Result, PlannerStat
 		Worlds:    p.Worlds,
 	}
 	plan := p.memo.For(qg, p.Plan)
-	res.Scores = racer.raceWithPriors(plan, &ps.RaceStats, priors)
+	res.Scores = racer.raceWithPriors(ctx, plan, &ps.RaceStats, priors)
 	res.Exact = exact
+	res.Truncated = ps.RaceStats.Truncated
 
 	// Reporting intervals: exact answers are their own bounds; Monte
 	// Carlo answers get Wilson/Jeffreys intervals from their final

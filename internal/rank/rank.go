@@ -19,6 +19,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 
 	"biorank/internal/graph"
@@ -41,6 +42,14 @@ type Result struct {
 	// Exact, when non-nil, marks answers whose score is exact rather
 	// than estimated. Exact[i] implies Lo[i] == Hi[i] == Scores[i].
 	Exact []bool
+	// Truncated reports that the estimator stopped early because its
+	// context was cancelled or its deadline expired. The scores are then
+	// the best estimates computable from the trials that DID run — the
+	// anytime tallies — with Lo/Hi holding valid (if wide) confidence
+	// intervals, vacuous [0,1] in the worst case of zero trials. A
+	// truncated result is an answer, not an error, but it is specific to
+	// the deadline that produced it: callers must not memoize it.
+	Truncated bool
 }
 
 // Ranker is a relevance function r: A → R over a probabilistic query
@@ -51,6 +60,27 @@ type Ranker interface {
 	Name() string
 	// Rank scores every node in qg.Answers.
 	Rank(qg *graph.QueryGraph) (Result, error)
+}
+
+// CtxRanker is a Ranker that honors context cancellation: RankCtx
+// checks ctx at its batch boundaries (never inside kernel inner loops)
+// and, when the deadline expires mid-run, returns the partial result
+// computed so far with Result.Truncated set instead of an error. Every
+// Monte Carlo estimator in this package implements it; the
+// deterministic methods finish in microseconds and do not.
+type CtxRanker interface {
+	Ranker
+	RankCtx(ctx context.Context, qg *graph.QueryGraph) (Result, error)
+}
+
+// RankWithCtx runs r on qg under ctx: CtxRankers get the context,
+// plain Rankers run uninterruptibly (they are the fast deterministic
+// methods). A nil ctx means context.Background().
+func RankWithCtx(ctx context.Context, r Ranker, qg *graph.QueryGraph) (Result, error) {
+	if cr, ok := r.(CtxRanker); ok && ctx != nil && ctx.Done() != nil {
+		return cr.RankCtx(ctx, qg)
+	}
+	return r.Rank(qg)
 }
 
 // Methods returns the paper's five ranking methods with the default

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"sync"
 
 	"biorank/internal/graph"
@@ -127,6 +128,16 @@ func (o AllOptions) UsesPlan(name string) bool {
 // method name to its Result; scores are bit-identical to running each
 // method alone.
 func RankAll(qg *graph.QueryGraph, o AllOptions) (map[string]Result, error) {
+	return RankAllCtx(context.Background(), qg, o)
+}
+
+// RankAllCtx is RankAll under a context. The Monte Carlo reliability
+// estimators honor cancellation between batches and report truncated
+// partial results (Result.Truncated); the deterministic methods finish
+// in microseconds and run to completion regardless. A nil or
+// uncancellable ctx is free: every estimator takes its historical
+// single-call path.
+func RankAllCtx(ctx context.Context, qg *graph.QueryGraph, o AllOptions) (map[string]Result, error) {
 	if err := validate(qg); err != nil {
 		return nil, err
 	}
@@ -155,7 +166,7 @@ func RankAll(qg *graph.QueryGraph, o AllOptions) (map[string]Result, error) {
 	errs := make([]error, len(methods))
 	if o.Sequential {
 		for i, r := range rankers {
-			results[i], errs[i] = r.Rank(qg)
+			results[i], errs[i] = RankWithCtx(ctx, r, qg)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -163,7 +174,7 @@ func RankAll(qg *graph.QueryGraph, o AllOptions) (map[string]Result, error) {
 			wg.Add(1)
 			go func(i int, r Ranker) {
 				defer wg.Done()
-				results[i], errs[i] = r.Rank(qg)
+				results[i], errs[i] = RankWithCtx(ctx, r, qg)
 			}(i, r)
 		}
 		wg.Wait()

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -103,18 +104,29 @@ func (m *MonteCarlo) Name() string { return "reliability" }
 // Rank implements Ranker. Unlike RankWithStats it skips operation
 // counting entirely, which lets the kernel run its counter-free loop.
 func (m *MonteCarlo) Rank(qg *graph.QueryGraph) (Result, error) {
-	return m.rank(qg, nil)
+	return m.rankCtx(context.Background(), qg, nil)
+}
+
+// RankCtx implements CtxRanker: simulation runs in plan-sized chunks
+// with a context check between chunks, and an expired deadline returns
+// the tallies accumulated so far — scores over the trials that DID run,
+// Wilson intervals at 95%, Result.Truncated set — instead of an error.
+// A run that completes is bit-identical to Rank for the same seed: the
+// chunking consumes the kernels' RNG streams exactly like a one-shot
+// call.
+func (m *MonteCarlo) RankCtx(ctx context.Context, qg *graph.QueryGraph) (Result, error) {
+	return m.rankCtx(ctx, qg, nil)
 }
 
 // RankWithStats ranks like Rank and additionally reports the operation
 // counts of the underlying simulation (after reductions, if enabled).
 func (m *MonteCarlo) RankWithStats(qg *graph.QueryGraph) (Result, OpStats, error) {
 	var ops OpStats
-	res, err := m.rank(qg, &ops)
+	res, err := m.rankCtx(context.Background(), qg, &ops)
 	return res, ops, err
 }
 
-func (m *MonteCarlo) rank(qg *graph.QueryGraph, ops *OpStats) (Result, error) {
+func (m *MonteCarlo) rankCtx(ctx context.Context, qg *graph.QueryGraph, ops *OpStats) (Result, error) {
 	if err := validate(qg); err != nil {
 		return Result{}, err
 	}
@@ -125,81 +137,148 @@ func (m *MonteCarlo) rank(qg *graph.QueryGraph, ops *OpStats) (Result, error) {
 	res := Result{Method: m.Name()}
 	if m.Reduce {
 		red, _, mapping := ReduceAll(qg)
-		inner := m.simulate(kernel.Compile(red), trials, ops)
-		res.Scores = make([]float64, len(qg.Answers))
-		for i, j := range mapping {
-			if j >= 0 {
-				res.Scores[i] = inner[j]
-			}
-		}
+		inner := m.simulate(ctx, kernel.Compile(red), trials, ops)
+		mapReducedOutcome(len(qg.Answers), mapping, inner, &res)
 		return res, nil
 	}
-	res.Scores = m.simulate(m.memo.For(qg, m.Plan), trials, ops)
+	out := m.simulate(ctx, m.memo.For(qg, m.Plan), trials, ops)
+	res.Scores = out.scores
+	if out.truncated {
+		res.Truncated = true
+		res.Lo, res.Hi = out.lo, out.hi
+	}
 	return res, nil
 }
 
+// simOutcome is what one simulation pass produced: the scores, and —
+// when the context truncated the pass — the executed trial count and
+// the Wilson intervals of the partial tallies.
+type simOutcome struct {
+	scores    []float64
+	lo, hi    []float64
+	executed  int
+	truncated bool
+}
+
 // simulate runs the configured estimator on a compiled plan. ops may be
-// nil, in which case the kernels skip counter bookkeeping.
-func (m *MonteCarlo) simulate(plan *kernel.Plan, trials int, ops *OpStats) []float64 {
+// nil, in which case the kernels skip counter bookkeeping. All paths
+// accumulate per-node reach counts so an interrupted pass can report
+// its partial tallies; for an uncancellable ctx every path is a single
+// kernel call on the historical RNG stream.
+func (m *MonteCarlo) simulate(ctx context.Context, plan *kernel.Plan, trials int, ops *OpStats) simOutcome {
 	scores := make([]float64, plan.NumAnswers())
 	var so *kernel.SimOps
 	if ops != nil {
 		so = new(kernel.SimOps)
 	}
+	out := simOutcome{scores: scores}
 	switch {
 	case m.Naive:
+		// The all-coins baseline is a paper artifact, not a serving
+		// estimator: honor a context that is already dead, otherwise run
+		// it whole.
+		if ctxErr(ctx) != nil {
+			out.truncated = true
+			out.lo, out.hi = wilsonTallyBounds(plan, nil, 0)
+			break
+		}
 		plan.Naive(scores, trials, prob.NewRNG(m.Seed), so)
-	case m.Worlds && m.Workers > 1:
-		sim := parallelWorldsMC(plan, trials, m.Seed, m.Workers, scores)
+		out.executed = trials
+	case m.Workers > 1:
+		counts := make([]int64, plan.NumNodes())
+		executed, truncated, sim := parallelShardedMC(ctx, plan, trials, m.Seed, m.Workers, m.Worlds, counts)
 		if so != nil {
 			*so = sim
 		}
-	case m.Worlds:
-		plan.ReliabilityWorldsBlock(scores, trials, prob.NewRNG(m.Seed), so)
-	case m.Workers > 1:
-		sim := parallelTraversalMC(plan, trials, m.Seed, m.Workers, scores)
-		if so != nil {
-			*so = sim
+		out.executed, out.truncated = executed, truncated
+		if executed > 0 {
+			plan.ScoresFromCounts(counts, executed, scores)
+		}
+		if truncated {
+			out.lo, out.hi = wilsonTallyBounds(plan, counts, executed)
 		}
 	default:
-		plan.Reliability(scores, trials, prob.NewRNG(m.Seed), so)
+		counts := make([]int64, plan.NumNodes())
+		rng := prob.NewRNG(m.Seed)
+		var executed int
+		var truncated bool
+		if m.Worlds {
+			// A session, not per-chunk ReliabilityCountsWorldsBlock calls:
+			// the block kernel reseeds its lane streams per call, so only
+			// the session keeps a chunked run bit-identical to a one-shot
+			// run.
+			sess := plan.NewWorldsBlockSession(rng)
+			sim := func(_ *kernel.Plan, c []int64, words int, _ *prob.RNG, o *kernel.SimOps) {
+				sess.Counts(c, words, o)
+			}
+			words, trunc := chunkedCounts(ctx, plan, counts, kernel.WorldWords(trials), chunkFor(ctx, plan, 0, true), rng, so, sim)
+			executed, truncated = words*kernel.WordSize, trunc
+		} else {
+			executed, truncated = chunkedCounts(ctx, plan, counts, trials, chunkFor(ctx, plan, trials, false), rng, so,
+				(*kernel.Plan).ReliabilityCounts)
+		}
+		out.executed, out.truncated = executed, truncated
+		if executed > 0 {
+			plan.ScoresFromCounts(counts, executed, scores)
+		}
+		if truncated {
+			out.lo, out.hi = wilsonTallyBounds(plan, counts, executed)
+		}
 	}
 	if ops != nil {
 		ops.merge(opsFromSim(*so))
 	}
-	return scores
+	return out
 }
 
-// parallelTraversalMC fans the trials out over workers goroutines, each
-// with its own SplitMix64-derived RNG stream, runs the compiled
-// traversal kernel per shard, and merges the per-node reach counts into
-// scores.
-func parallelTraversalMC(plan *kernel.Plan, trials int, seed uint64, workers int, scores []float64) kernel.SimOps {
-	return parallelShardedMC(plan, trials, trials, seed, workers, scores,
-		(*kernel.Plan).ReliabilityCounts)
+// chunkedCounts feeds units of simulation work (scalar trials or
+// 64-world words) through sim on one RNG stream, checking ctx between
+// chunks. It returns the units executed and whether the run was cut
+// short. chunk <= 0 means "all at once".
+func chunkedCounts(ctx context.Context, plan *kernel.Plan, counts []int64, units, chunk int, rng *prob.RNG, so *kernel.SimOps,
+	sim func(*kernel.Plan, []int64, int, *prob.RNG, *kernel.SimOps)) (int, bool) {
+	if chunk <= 0 {
+		chunk = units
+	}
+	done := 0
+	for done < units {
+		if ctxErr(ctx) != nil {
+			return done, true
+		}
+		b := chunk
+		if done+b > units {
+			b = units - done
+		}
+		sim(plan, counts, b, rng, so)
+		done += b
+	}
+	return done, false
 }
 
-// parallelWorldsMC shards the word-trials of the bit-parallel estimator
-// the same way. The word — not the trial — is the unit of division, so
-// every shard simulates whole 64-world batches and the combined trial
-// count is words·64; each shard runs the block kernel over its share,
-// spilling to single-word batches for its remainder words.
-func parallelWorldsMC(plan *kernel.Plan, trials int, seed uint64, workers int, scores []float64) kernel.SimOps {
-	words := kernel.WorldWords(trials)
-	return parallelShardedMC(plan, words, words*kernel.WordSize, seed, workers, scores,
-		(*kernel.Plan).ReliabilityCountsWorldsBlock)
-}
-
-// parallelShardedMC splits units of simulation work (scalar trials or
-// 64-world words) over workers goroutines — each with a deterministic
-// prob.StreamSeed stream — runs sim per shard, merges the per-node
-// reach counts, and normalizes scores by totalTrials.
-func parallelShardedMC(plan *kernel.Plan, units, totalTrials int, seed uint64, workers int, scores []float64,
-	sim func(*kernel.Plan, []int64, int, *prob.RNG, *kernel.SimOps)) kernel.SimOps {
+// parallelShardedMC splits the simulation over workers goroutines —
+// each with a deterministic prob.StreamSeed stream — and merges the
+// per-node reach counts into counts. The unit of division is the trial
+// (scalar) or the 64-world word (worlds), so every shard simulates
+// whole words; within a shard the work runs in ctx-checked chunks, and
+// on truncation each shard stops at its own chunk boundary. Returns
+// the total trials executed (a valid normalizer: every shard's counts
+// cover exactly its executed trials), whether any shard truncated, and
+// the merged op counters. A run that completes is deterministic for a
+// fixed (seed, workers) pair regardless of chunking.
+func parallelShardedMC(ctx context.Context, plan *kernel.Plan, trials int, seed uint64, workers int, worlds bool, counts []int64) (int, bool, kernel.SimOps) {
+	units := trials
+	trialsPerUnit := 1
+	if worlds {
+		units = kernel.WorldWords(trials)
+		trialsPerUnit = kernel.WordSize
+	}
 	if workers > units {
 		workers = units
 	}
-	counts := make([][]int64, workers)
+	chunk := chunkFor(ctx, plan, 0, worlds)
+	shardCounts := make([][]int64, workers)
+	shardDone := make([]int, workers)
+	shardTrunc := make([]bool, workers)
 	shardOps := make([]kernel.SimOps, workers)
 	var wg sync.WaitGroup
 	base := units / workers
@@ -214,26 +293,35 @@ func parallelShardedMC(plan *kernel.Plan, units, totalTrials int, seed uint64, w
 			defer wg.Done()
 			// Distinct, deterministic stream per worker.
 			rng := prob.NewRNG(prob.StreamSeed(seed, uint64(w)))
+			sim := (*kernel.Plan).ReliabilityCounts
+			if worlds {
+				// One session per shard keeps the shard's lane streams
+				// alive across its chunks (see WorldsBlockSession).
+				sess := plan.NewWorldsBlockSession(rng)
+				sim = func(_ *kernel.Plan, c []int64, words int, _ *prob.RNG, o *kernel.SimOps) {
+					sess.Counts(c, words, o)
+				}
+			}
 			c := make([]int64, plan.NumNodes())
-			sim(plan, c, share, rng, &shardOps[w])
-			counts[w] = c
+			shardDone[w], shardTrunc[w] = chunkedCounts(ctx, plan, c, share, chunk, rng, &shardOps[w], sim)
+			shardCounts[w] = c
 		}(w, share)
 	}
 	wg.Wait()
-	total := counts[0]
-	for w := 1; w < workers; w++ {
-		for i, v := range counts[w] {
-			total[i] += v
-		}
-	}
-	plan.ScoresFromCounts(total, totalTrials, scores)
+	executed := 0
+	truncated := false
 	var ops kernel.SimOps
-	for w := range shardOps {
+	for w := 0; w < workers; w++ {
+		for i, v := range shardCounts[w] {
+			counts[i] += v
+		}
+		executed += shardDone[w] * trialsPerUnit
+		truncated = truncated || shardTrunc[w]
 		ops.Trials += shardOps[w].Trials
 		ops.NodeVisits += shardOps[w].NodeVisits
 		ops.CoinFlips += shardOps[w].CoinFlips
 	}
-	return ops
+	return executed, truncated, ops
 }
 
 // TrialBound returns the number of independent Monte Carlo trials that

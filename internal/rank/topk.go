@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -92,6 +93,12 @@ type RaceStats struct {
 	Pruned int
 	// Rounds counts simulation batches run.
 	Rounds int
+	// Truncated reports that the race stopped at a round boundary
+	// because its context was cancelled or its deadline expired, before
+	// the top-k order was resolved or MaxTrials reached. The scores and
+	// Lo/Hi bounds of the rounds that ran remain valid; candidates the
+	// deadline caught before their first round carry the vacuous [0,1].
+	Truncated bool
 }
 
 // CandidateTrials returns the summed per-candidate trial count — the
@@ -140,8 +147,24 @@ func (r *TopKRacer) Rank(qg *graph.QueryGraph) (Result, error) {
 	return res, err
 }
 
+// RankCtx implements CtxRanker: the context is checked between racer
+// rounds, and an expired deadline ends the race early with the
+// interval state of the rounds that ran (Result.Truncated set).
+func (r *TopKRacer) RankCtx(ctx context.Context, qg *graph.QueryGraph) (Result, error) {
+	res, _, err := r.RankWithRaceCtx(ctx, qg)
+	return res, err
+}
+
 // RankWithRace ranks and reports the race telemetry.
 func (r *TopKRacer) RankWithRace(qg *graph.QueryGraph) (Result, RaceStats, error) {
+	return r.RankWithRaceCtx(context.Background(), qg)
+}
+
+// RankWithRaceCtx is RankWithRace under a context: cancellation or
+// deadline expiry stops the race at the next round boundary, marking
+// RaceStats.Truncated and Result.Truncated while keeping every
+// reported interval valid.
+func (r *TopKRacer) RankWithRaceCtx(ctx context.Context, qg *graph.QueryGraph) (Result, RaceStats, error) {
 	if err := validate(qg); err != nil {
 		return Result{}, RaceStats{}, err
 	}
@@ -149,7 +172,7 @@ func (r *TopKRacer) RankWithRace(qg *graph.QueryGraph) (Result, RaceStats, error
 	if r.Reduce {
 		red, _, mapping := ReduceAll(qg)
 		var inner RaceStats
-		innerScores := r.race(kernel.Compile(red), &inner)
+		innerScores := r.race(ctx, kernel.Compile(red), &inner)
 		// Map the reduced-graph race back onto the original answer set.
 		// Answers the reductions removed are unreachable: score 0 with
 		// certainty.
@@ -161,6 +184,7 @@ func (r *TopKRacer) RankWithRace(qg *graph.QueryGraph) (Result, RaceStats, error
 			Hi:                 make([]float64, nA),
 			Pruned:             inner.Pruned,
 			Rounds:             inner.Rounds,
+			Truncated:          inner.Truncated,
 		}
 		res.Scores = make([]float64, nA)
 		for i, j := range mapping {
@@ -175,11 +199,13 @@ func (r *TopKRacer) RankWithRace(qg *graph.QueryGraph) (Result, RaceStats, error
 			// interval rs.Lo/Hi already hold.
 		}
 		res.Lo, res.Hi = rs.Lo, rs.Hi
+		res.Truncated = rs.Truncated
 		return res, rs, nil
 	}
 	var rs RaceStats
-	res.Scores = r.race(r.memo.For(qg, r.Plan), &rs)
+	res.Scores = r.race(ctx, r.memo.For(qg, r.Plan), &rs)
 	res.Lo, res.Hi = rs.Lo, rs.Hi
+	res.Truncated = rs.Truncated
 	return res, rs, nil
 }
 
@@ -195,15 +221,15 @@ type exactPrior struct {
 
 // race runs the successive-elimination loop on a compiled plan and
 // returns the per-answer score estimates.
-func (r *TopKRacer) race(plan *kernel.Plan, rs *RaceStats) []float64 {
-	return r.raceWithPriors(plan, rs, nil)
+func (r *TopKRacer) race(ctx context.Context, plan *kernel.Plan, rs *RaceStats) []float64 {
+	return r.raceWithPriors(ctx, plan, rs, nil)
 }
 
 // raceWithPriors is race with some candidates pre-resolved exactly.
 // Prior candidates keep TrialsPerCandidate 0 and Lo = Hi = score; they
 // are excluded from the simulation mask but participate in elimination
 // and in the top-k stopping rule.
-func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []exactPrior) []float64 {
+func (r *TopKRacer) raceWithPriors(ctx context.Context, plan *kernel.Plan, rs *RaceStats, priors []exactPrior) []float64 {
 	nA := plan.NumAnswers()
 	scores := make([]float64, nA)
 	rs.TrialsPerCandidate = make([]int64, nA)
@@ -245,6 +271,12 @@ func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []ex
 		}
 		active[i] = true
 		activeIdx = append(activeIdx, i)
+		// Before its first round a candidate's reliability is only known
+		// to lie in [0,1]; start with that vacuous bound so a deadline
+		// that fires before round one still reports valid intervals
+		// (Lo ≤ score ≤ Hi) rather than an impossible [0,0] around an
+		// unknown score.
+		hi[i] = 1
 	}
 	if len(activeIdx) == 0 {
 		return scores // every candidate arrived exact; nothing to race
@@ -258,6 +290,14 @@ func (r *TopKRacer) raceWithPriors(plan *kernel.Plan, rs *RaceStats, priors []ex
 	var so kernel.SimOps
 	trials := 0
 	for trials < maxTrials {
+		if ctxErr(ctx) != nil {
+			// Deadline at a round boundary: every interval written so far
+			// still holds (the union bound budgeted for more rounds than
+			// ran, which only widens them), so the race state IS the
+			// partial result.
+			rs.Truncated = true
+			break
+		}
 		b := batch
 		if trials+b > maxTrials {
 			b = maxTrials - trials // honor the cap exactly

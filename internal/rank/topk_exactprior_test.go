@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestRacerExactPriorEarnsCertificate(t *testing.T) {
 		priors = append(priors, exactPrior{idx: i, score: 0.1})
 	}
 	var rs RaceStats
-	scores := r.raceWithPriors(plan, &rs, priors)
+	scores := r.raceWithPriors(context.Background(), plan, &rs, priors)
 	if got := rs.TrialsPerCandidate[0]; got >= cap {
 		t.Fatalf("planner-seeded race ran %d trials (the cap): the exact-prior pair never earned the Theorem 3.1 certificate", got)
 	}
@@ -79,7 +80,7 @@ func TestRacerTwoExactPriorsResolve(t *testing.T) {
 	plan := kernel.Compile(qg)
 	r := &TopKRacer{K: 2, MaxTrials: 512, Seed: 3}
 	var rs RaceStats
-	scores := r.raceWithPriors(plan, &rs, []exactPrior{{idx: 0, score: 0.5}, {idx: 1, score: 0.502}})
+	scores := r.raceWithPriors(context.Background(), plan, &rs, []exactPrior{{idx: 0, score: 0.5}, {idx: 1, score: 0.502}})
 	if rs.Rounds != 0 {
 		t.Fatalf("all-exact race simulated %d rounds", rs.Rounds)
 	}
