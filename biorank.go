@@ -568,6 +568,11 @@ type System struct {
 	world *synth.World
 	med   *mediator.Mediator
 
+	// live is non-nil after EnableLive: queries then resolve against
+	// snapshots of a mutable union graph instead of re-integrating, and
+	// Ingest applies source deltas with scoped cache invalidation.
+	live atomic.Pointer[liveState]
+
 	engOnce sync.Once
 	eng     *engine.Engine
 
@@ -647,13 +652,25 @@ func (s *System) EmergingFunctions(protein string) []string {
 }
 
 // Query runs the exploratory query (EntrezProtein.name = protein,
-// {AmiGO}) end to end and returns the candidate-function answer set.
+// {AmiGO}) end to end and returns the candidate-function answer set. In
+// live mode (EnableLive) the query resolves against a snapshot of the
+// live union graph, so it observes every delta ingested so far.
 func (s *System) Query(protein string) (*Answers, error) {
-	qg, err := s.med.Explore(protein)
+	qg, err := s.resolve(protein)
 	if err != nil {
 		return nil, err
 	}
 	return &Answers{qg: qg}, nil
+}
+
+// resolve produces the protein's pruned query graph through whichever
+// path is active: the live store snapshot or a fresh mediator
+// integration.
+func (s *System) resolve(protein string) (*graph.QueryGraph, error) {
+	if ls := s.live.Load(); ls != nil {
+		return ls.resolve(protein)
+	}
+	return s.med.Explore(protein)
 }
 
 // BatchRequest asks for one protein's answers ranked under one or more
@@ -706,7 +723,26 @@ type EngineConfig struct {
 	// capacity are shed with ErrOverloaded instead of queueing
 	// unboundedly; with both zero the engine accepts everything.
 	MaxQueue int
+	// Invalidation selects how ingested deltas invalidate cached results:
+	// InvalidateScoped (the default) drops only the queries whose answer
+	// sets can reach an affected record, InvalidateVersion is the legacy
+	// baseline that strands every entry on any mutation.
+	Invalidation InvalidationMode
 }
+
+// InvalidationMode selects the engine's cache-invalidation strategy; see
+// EngineConfig.Invalidation.
+type InvalidationMode = engine.InvalidationMode
+
+// The two invalidation strategies.
+const (
+	// InvalidateScoped keys caches by query-graph content and reclaims
+	// stranded entries per affected source (the default).
+	InvalidateScoped = engine.InvalidateScoped
+	// InvalidateVersion folds the entity graph's global version into
+	// every cache key: any mutation anywhere strands all entries.
+	InvalidateVersion = engine.InvalidateVersion
+)
 
 // ConfigureEngine sets the batch engine's configuration. It must be
 // called before the engine lazily starts (first QueryBatch, CacheStats,
@@ -719,10 +755,11 @@ func (s *System) ConfigureEngine(cfg EngineConfig) error {
 		return fmt.Errorf("biorank: engine already started; ConfigureEngine must precede the first QueryBatch")
 	}
 	s.engCfg = engine.Config{
-		Workers:     cfg.Workers,
-		CacheSize:   cfg.CacheSize,
-		MaxInFlight: cfg.MaxInFlight,
-		MaxQueue:    cfg.MaxQueue,
+		Workers:      cfg.Workers,
+		CacheSize:    cfg.CacheSize,
+		MaxInFlight:  cfg.MaxInFlight,
+		MaxQueue:     cfg.MaxQueue,
+		Invalidation: cfg.Invalidation,
 	}
 	return nil
 }
@@ -735,7 +772,7 @@ func (s *System) engineHandle() *engine.Engine {
 		s.engStarted = true
 		s.engMu.Unlock()
 		s.eng = engine.New(engine.ResolverFunc(func(p string) (*graph.QueryGraph, error) {
-			return s.med.Explore(p)
+			return s.resolve(p)
 		}), cfg)
 	})
 	return s.eng

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"biorank"
+)
+
+var (
+	liveSrvOnce sync.Once
+	liveSrv     *server
+)
+
+// liveTestServer builds one live demo server shared by the ingest tests
+// (the package-wide testSrv is deliberately not live, so the 409 path
+// stays testable against it).
+func liveTestServer(t *testing.T) *server {
+	t.Helper()
+	liveSrvOnce.Do(func() {
+		sys, err := biorank.NewDemoSystem(2)
+		if err != nil {
+			t.Fatalf("demo system: %v", err)
+		}
+		if err := sys.EnableLive(); err != nil {
+			t.Fatalf("enable live: %v", err)
+		}
+		liveSrv = &server{sys: sys, world: "demo"}
+		liveSrv.ingest = newIngester(sys, 4)
+		liveSrv.ready.Store(true)
+	})
+	if liveSrv == nil {
+		t.Fatal("live demo system failed in an earlier test")
+	}
+	return liveSrv
+}
+
+func TestIngestHandler(t *testing.T) {
+	s := liveTestServer(t)
+	protein := s.sys.Proteins()[0]
+	acc := "NP_" + protein // the synth worlds' accession scheme
+
+	t.Run("method not allowed", func(t *testing.T) {
+		if code, _ := do(t, s.handleIngest, http.MethodGet, "/ingest", ""); code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /ingest -> %d", code)
+		}
+	})
+
+	t.Run("not live", func(t *testing.T) {
+		plain := testServer(t)
+		code, out := do(t, plain.handleIngest, http.MethodPost, "/ingest",
+			`{"source":"x","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"y"},"p":0.5}]}`)
+		if code != http.StatusConflict {
+			t.Fatalf("ingest on non-live server -> %d: %v", code, out)
+		}
+	})
+
+	t.Run("bad JSON", func(t *testing.T) {
+		if code, _ := do(t, s.handleIngest, http.MethodPost, "/ingest", "{"); code != http.StatusBadRequest {
+			t.Fatalf("bad JSON -> %d", code)
+		}
+	})
+
+	t.Run("no deltas", func(t *testing.T) {
+		if code, _ := do(t, s.handleIngest, http.MethodPost, "/ingest", "{}"); code != http.StatusBadRequest {
+			t.Fatalf("empty request -> %d", code)
+		}
+	})
+
+	t.Run("sync apply with scoped invalidation", func(t *testing.T) {
+		// Warm the result cache so the delta has something to invalidate.
+		code, _ := do(t, s.handleQuery, http.MethodPost, "/query",
+			`{"protein":"`+protein+`","methods":["reliability"],"trials":200,"seed":1}`)
+		if code != http.StatusOK {
+			t.Fatalf("warm query -> %d", code)
+		}
+		code, out := do(t, s.handleIngest, http.MethodPost, "/ingest",
+			`{"source":"curation","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"`+acc+`"},"p":0.8}]}`)
+		if code != http.StatusOK {
+			t.Fatalf("sync ingest -> %d: %v", code, out)
+		}
+		if out["deltas"].(float64) != 1 || out["probChanges"].(float64) != 1 || out["probOnly"] != true {
+			t.Fatalf("ingest result %v", out)
+		}
+		affected, _ := out["affectedSources"].([]any)
+		if len(affected) != 1 || affected[0] != protein {
+			t.Fatalf("affectedSources %v, want [%s]", affected, protein)
+		}
+		if out["invalidated"].(float64) < 1 {
+			t.Fatalf("no cache entries invalidated: %v", out)
+		}
+		epochs := out["epochs"].(map[string]any)
+		if epochs["curation"].(float64) != 1 {
+			t.Fatalf("epochs %v", epochs)
+		}
+	})
+
+	t.Run("validation error reports partial state", func(t *testing.T) {
+		code, out := do(t, s.handleIngest, http.MethodPost, "/ingest",
+			`{"deltas":[
+				{"source":"a","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"`+acc+`"},"p":0.7}]},
+				{"source":"b","ops":[{"op":"set-node-p","node":{"kind":"NoSuch","label":"nope"},"p":0.1}]}
+			]}`)
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("partial failure -> %d: %v", code, out)
+		}
+		if out["error"] == nil {
+			t.Fatalf("no error reported: %v", out)
+		}
+		res := out["result"].(map[string]any)
+		if res["deltas"].(float64) != 1 {
+			t.Fatalf("partial result %v, want the first batch applied", res)
+		}
+	})
+
+	t.Run("async accepted and applied by the refresher", func(t *testing.T) {
+		before := s.ingest.applied.Load()
+		code, out := do(t, s.handleIngest, http.MethodPost, "/ingest",
+			`{"async":true,"source":"feed","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"`+acc+`"},"p":0.6}]}`)
+		if code != http.StatusAccepted {
+			t.Fatalf("async ingest -> %d: %v", code, out)
+		}
+		if out["accepted"].(float64) != 1 {
+			t.Fatalf("accepted %v", out)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for s.ingest.applied.Load() == before {
+			if time.Now().After(deadline) {
+				t.Fatal("refresher never applied the queued batch")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if st, ok := s.sys.LiveStats(); !ok || st.Epochs["feed"] != 1 {
+			t.Fatalf("live stats after async apply: %+v ok=%v", st, ok)
+		}
+	})
+
+	t.Run("draining sheds async ingest", func(t *testing.T) {
+		s.ready.Store(false)
+		defer s.ready.Store(true)
+		code, _ := do(t, s.handleIngest, http.MethodPost, "/ingest",
+			`{"async":true,"source":"feed","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"`+acc+`"},"p":0.5}]}`)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("draining async ingest -> %d", code)
+		}
+	})
+
+	t.Run("stats expose live store and ingest queue", func(t *testing.T) {
+		code, out := do(t, s.handleStats, http.MethodGet, "/stats", "")
+		if code != http.StatusOK {
+			t.Fatalf("stats -> %d", code)
+		}
+		live, ok := out["live"].(map[string]any)
+		if !ok || live["Deltas"].(float64) < 1 {
+			t.Fatalf("stats live section %v", out["live"])
+		}
+		ing, ok := out["ingest"].(map[string]any)
+		if !ok || ing["applied"].(float64) < 1 {
+			t.Fatalf("stats ingest section %v", out["ingest"])
+		}
+		cache, ok := out["cache"].(map[string]any)
+		if !ok {
+			t.Fatalf("stats cache section %v", out["cache"])
+		}
+		if _, ok := cache["Invalidations"]; !ok {
+			t.Fatalf("cache stats missing Invalidations: %v", cache)
+		}
+		plans := out["plans"].(map[string]any)
+		if _, ok := plans["Patches"]; !ok {
+			t.Fatalf("plan stats missing Patches: %v", plans)
+		}
+	})
+}
+
+// TestIngesterStopFlushes pins the drain contract: batches accepted
+// before stop are applied before stop returns.
+func TestIngesterStopFlushes(t *testing.T) {
+	sys, err := biorank.NewDemoSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableLive(); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	protein := sys.Proteins()[0]
+	ing := newIngester(sys, 8)
+	for i := 0; i < 5; i++ {
+		ok := ing.enqueue([]biorank.IngestDelta{{Source: "feed", Ops: []biorank.IngestOp{
+			{Op: "set-node-p", Node: biorank.IngestRef{Kind: "EntrezProtein", Label: "NP_" + protein}, P: 0.1 * float64(i+1)},
+		}}})
+		if !ok {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	ing.stop()
+	if got := ing.applied.Load(); got != 5 {
+		t.Fatalf("applied %d of 5 accepted batches", got)
+	}
+	if ing.enqueue(nil) {
+		t.Fatal("enqueue after stop accepted")
+	}
+	ing.stop() // idempotent
+	st, _ := sys.LiveStats()
+	if st.Epochs["feed"] != 5 {
+		t.Fatalf("epochs %v", st.Epochs)
+	}
+}

@@ -34,8 +34,21 @@
 //	              "order":"lower" re-sorts the certified top k by the
 //	              interval lower bound (a risk-averse presentation
 //	              order).
-//	GET  /stats   Engine result- and plan-cache counters, admission-
-//	              control state (in-flight, queued, shed) and server
+//	POST /ingest  {"deltas":[{"source":"curation","ops":[{"op":"set-node-p",
+//	              "node":{"kind":"EntrezProtein","label":"NP_000343"},
+//	              "p":0.8}]}]}
+//	              Applies source deltas to the live graph (requires
+//	              -live). A single delta without the "deltas" wrapper is
+//	              also accepted. The response reports what changed, which
+//	              query keywords were invalidated (scoped to the proteins
+//	              that can reach an affected record), and the per-source
+//	              ingestion epochs. With "async": true the batch is queued
+//	              for the background refresher instead (202 Accepted; 429
+//	              when the queue is full, 503 while draining).
+//	GET  /stats   Engine result- and plan-cache counters (hits, misses,
+//	              evictions, scoped invalidations, plan patches),
+//	              admission-control state (in-flight, queued, shed), live
+//	              store and ingest-queue state (when -live) and server
 //	              configuration.
 //	GET  /healthz Liveness probe: 200 as long as the process serves.
 //	GET  /readyz  Readiness probe: 200 while accepting work, 503 once
@@ -97,6 +110,8 @@ func main() {
 		maxInFlight    = flag.Int("max-inflight", 0, "max concurrently executing ranking requests (0 = worker count when -max-queue is set, else unlimited)")
 		maxQueue       = flag.Int("max-queue", 0, "max admitted requests waiting beyond the in-flight set; beyond it requests are shed with 429 (0 with -max-inflight 0 = unlimited)")
 		drain          = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		live           = flag.Bool("live", false, "serve queries from a live mutable union graph and accept POST /ingest deltas")
+		ingestQueue    = flag.Int("ingest-queue", 64, "async ingest queue capacity (with -live); full queues shed with 429")
 	)
 	flag.Parse()
 
@@ -107,6 +122,13 @@ func main() {
 	}
 	defer sys.Close()
 
+	if *live {
+		if err := sys.EnableLive(); err != nil {
+			fmt.Fprintln(os.Stderr, "biorankd:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *maxInFlight > 0 || *maxQueue > 0 {
 		if err := sys.ConfigureEngine(biorank.EngineConfig{MaxInFlight: *maxInFlight, MaxQueue: *maxQueue}); err != nil {
 			fmt.Fprintln(os.Stderr, "biorankd:", err)
@@ -115,6 +137,9 @@ func main() {
 	}
 
 	srv := newServer(sys, *world, *defaultTimeout, *maxInFlight, *maxQueue)
+	if *live {
+		srv.ingest = newIngester(sys, *ingestQueue)
+	}
 	mux := srv.mux()
 
 	if *pprofAddr != "" {
@@ -179,6 +204,11 @@ func main() {
 	if err := hs.Shutdown(sctx); err != nil {
 		log.Printf("biorankd: drain incomplete: %v", err)
 	}
+	if srv.ingest != nil {
+		// Flush accepted deltas before the engine is torn down: an
+		// acknowledged async batch is never dropped by a shutdown.
+		srv.ingest.stop()
+	}
 	log.Printf("biorankd: drained, exiting")
 }
 
@@ -208,6 +238,8 @@ type server struct {
 	// gate admission-controls /rank and /topk, which rank directly on
 	// the request goroutine and so bypass the engine's own queue.
 	gate *gate
+	// ingest is the async delta refresher; nil unless -live.
+	ingest *ingester
 }
 
 // newServer wires a handler set over a built system. maxInFlight and
@@ -231,6 +263,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/rank", s.handleRank)
 	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -803,6 +836,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"capacity": s.gate.capacity,
 			"shed":     s.gate.shed.Load(),
 		}
+	}
+	if ls, ok := s.sys.LiveStats(); ok {
+		out["live"] = ls
+	}
+	if s.ingest != nil {
+		out["ingest"] = s.ingest.stats()
 	}
 	writeJSON(w, out)
 }

@@ -6,7 +6,7 @@
 //
 // Extensions beyond the paper run only when named explicitly:
 //
-//	experiments ablation scaling racer worlds planner stability degradation
+//	experiments ablation scaling racer worlds planner stability degradation churn
 //
 // Output is printed as fixed-width text tables with the paper's reported
 // values alongside for comparison; EXPERIMENTS.md is generated from this
@@ -205,6 +205,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderDegradation(res))
+			return nil
+		})
+	}
+	if want["churn"] {
+		run("churn", func() error {
+			res, err := suite.Churn(0, 0, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderChurn(res))
 			return nil
 		})
 	}

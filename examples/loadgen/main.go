@@ -32,6 +32,17 @@
 //
 //	go run ./examples/loadgen -mode overload -clients 32 -rounds 20
 //
+// -mode churn is the incremental-integration drill: the system switches
+// to live mode (one mutable union graph), clients mix reads with
+// probability-revision deltas at -write-rate, and the same workload runs
+// twice — once with scoped invalidation (a delta drops only the queries
+// that can reach an affected record; untouched plans are patched, not
+// recompiled) and once with the legacy version-nuke baseline (any
+// mutation strands every cache entry). The two passes print read-latency
+// percentiles and cache hit rates side by side; in-process only.
+//
+//	go run ./examples/loadgen -mode churn -clients 8 -rounds 40 -write-rate 0.2
+//
 // With -addr it instead targets a running biorankd over HTTP (start it
 // with -max-queue/-max-inflight to see shedding, -default-timeout to
 // see truncation):
@@ -47,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -71,8 +83,26 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request ranking deadline (0 = none); expiry truncates, not fails")
 		maxInFlight = flag.Int("max-inflight", 2, "engine in-flight cap for -mode overload (in-process only)")
 		maxQueue    = flag.Int("max-queue", 2, "engine queue cap for -mode overload (in-process only)")
+		writeRate   = flag.Float64("write-rate", 0.2, "fraction of operations that are ingest deltas in -mode churn")
 	)
 	flag.Parse()
+
+	if *mode == "churn" {
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -mode churn runs in-process only")
+			os.Exit(2)
+		}
+		for _, pass := range []struct {
+			name string
+			inv  biorank.InvalidationMode
+		}{
+			{"scoped", biorank.InvalidateScoped},
+			{"version-nuke", biorank.InvalidateVersion},
+		} {
+			runChurn(pass.name, pass.inv, *clients, *rounds, *trials, *seed, *writeRate)
+		}
+		return
+	}
 
 	sys, err := biorank.NewDemoSystem(*seed)
 	if err != nil {
@@ -106,7 +136,7 @@ func main() {
 			}
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|planner|both|all|overload)\n", *mode)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want fixed|adaptive|topk|worlds|planner|both|all|overload|churn)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -277,6 +307,100 @@ func run(sys *biorank.System, clients, rounds int, addr, mode string, opts biora
 			fmt.Printf("  engine:       %+v\n", es)
 		}
 	}
+}
+
+// runChurn fires the mixed read/write workload at a fresh live system
+// under the given invalidation mode and reports read latency and cache
+// effectiveness. Each client interleaves ranking reads with
+// probability-revision deltas (seeded, so the scoped and version-nuke
+// passes see the identical operation sequence); the cache hit rates of
+// the two passes are the study's headline numbers.
+func runChurn(name string, inv biorank.InvalidationMode, clients, rounds, trials int, seed uint64, writeRate float64) {
+	sys, err := biorank.NewDemoSystem(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.ConfigureEngine(biorank.EngineConfig{Invalidation: inv}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.EnableLive(); err != nil {
+		log.Fatal(err)
+	}
+	proteins := sys.Proteins()
+	// No Reduce: the churn drill measures the compiled-plan path, where a
+	// probability-only delta patches the cached plan instead of
+	// recompiling (visible as plan-cache patches below).
+	opts := biorank.Options{Trials: trials, Seed: seed}
+
+	var reads, writes, errs atomic.Int64
+	latencies := make([][]time.Duration, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)*1e6 + int64(client)))
+			lats := make([]time.Duration, 0, rounds)
+			for round := 0; round < rounds; round++ {
+				p := proteins[(client*4+round)%len(proteins)]
+				if rng.Float64() < writeRate {
+					// Probability-only delta on the protein's own record:
+					// topology is untouched, so the next query patches its
+					// plan instead of recompiling.
+					accs := sys.Accessions(p)
+					delta := biorank.IngestDelta{Source: "churn", Ops: []biorank.IngestOp{{
+						Op:   "set-node-p",
+						Node: biorank.IngestRef{Kind: "EntrezProtein", Label: accs[rng.Intn(len(accs))]},
+						P:    0.5 + 0.5*rng.Float64(),
+					}}}
+					if _, err := sys.Ingest(delta); err != nil {
+						errs.Add(1)
+					} else {
+						writes.Add(1)
+					}
+					continue
+				}
+				t0 := time.Now()
+				res := sys.QueryBatch([]biorank.BatchRequest{{Protein: p, Methods: []biorank.Method{biorank.Reliability}, Options: opts}})
+				if res[0].Err != nil {
+					errs.Add(1)
+					continue
+				}
+				reads.Add(1)
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[client] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	cs := sys.CacheStats()
+	ps := sys.PlanStats()
+	ls, _ := sys.LiveStats()
+	fmt.Printf("loadgen[churn/%s]: %d clients x %d rounds, write rate %.0f%%\n",
+		name, clients, rounds, 100*writeRate)
+	fmt.Printf("  %d reads, %d writes, %d errors in %v (graph v%d)\n",
+		reads.Load(), writes.Load(), errs.Load(), elapsed.Round(time.Millisecond), ls.Version)
+	if len(all) > 0 {
+		fmt.Printf("  read latency: p50=%v p95=%v p99=%v max=%v\n",
+			percentile(all, 0.50).Round(time.Microsecond),
+			percentile(all, 0.95).Round(time.Microsecond),
+			percentile(all, 0.99).Round(time.Microsecond),
+			all[len(all)-1].Round(time.Microsecond))
+	}
+	fmt.Printf("  result cache: %.1f%% hit rate (%d hits / %d misses), %d invalidated, %d evicted\n",
+		rate(cs.Hits, cs.Hits+cs.Misses), cs.Hits, cs.Misses, cs.Invalidations, cs.Evictions)
+	fmt.Printf("  plan cache: %d hits, %d misses, %d patched (compiles avoided)\n",
+		ps.Hits, ps.Misses, ps.Patches)
 }
 
 // rate is a safe percentage.

@@ -8,14 +8,20 @@ import (
 // cacheKey identifies one cached ranking result. A key is only ever
 // reproduced by a query whose graph is byte-for-byte equivalent: the
 // fingerprint hashes the full pruned query graph (nodes, edges,
-// probabilities, source, answer set) and the version is the underlying
-// entity graph's mutation counter, so any graph mutation bumps the
-// version, changes the key, and strands the stale entry until the LRU
-// evicts it.
+// probabilities, source, answer set), so any content change — including
+// a probability revision delivered by a source delta — produces a
+// different key and can never be served a stale entry.
+//
+// version is 0 under scoped invalidation (the default): content keying
+// already guarantees freshness, and stranded entries are reclaimed
+// eagerly by InvalidateSources instead of waiting for LRU eviction.
+// Under the legacy InvalidateVersion mode it carries the entity graph's
+// mutation counter, so ANY mutation anywhere strands every entry — the
+// whole-graph version-nuke behavior the churn study measures against.
 type cacheKey struct {
 	source  string // query identity (e.g. the protein keyword)
-	fp      uint64 // query-graph fingerprint (answer-set hash)
-	version uint64 // entity-graph mutation counter at resolve time
+	fp      uint64 // query-graph fingerprint (content hash)
+	version uint64 // entity-graph version (InvalidateVersion mode only)
 	method  string
 	opts    optionsKey
 }
@@ -40,7 +46,11 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
-	Entries   int
+	// Invalidations counts entries removed by scoped invalidation
+	// (Engine.InvalidateSources) — distinct from Evictions, which are
+	// capacity pressure.
+	Invalidations int64
+	Entries       int
 }
 
 // cachedResult is the cache's value type: the score vector plus the
@@ -69,13 +79,19 @@ func (r cachedResult) clone() cachedResult {
 	return c
 }
 
-// resultCache is a mutex-guarded LRU mapping cacheKey to results.
+// resultCache is a mutex-guarded LRU mapping cacheKey to results, with a
+// secondary index by query source so a delta can invalidate exactly the
+// sources whose reachable subgraphs it touched.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
-	stats CacheStats
+	// bySource indexes live entries by cacheKey.source for scoped
+	// invalidation; maintained by put/remove so it never holds dead
+	// elements.
+	bySource map[string]map[*list.Element]struct{}
+	stats    CacheStats
 }
 
 type cacheEntry struct {
@@ -88,9 +104,10 @@ func newResultCache(capacity int) *resultCache {
 		return nil // caching disabled
 	}
 	return &resultCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[cacheKey]*list.Element, capacity),
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+		bySource: make(map[string]map[*list.Element]struct{}),
 	}
 }
 
@@ -130,13 +147,54 @@ func (c *resultCache) put(key cacheKey, res cachedResult) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = el
+	set := c.bySource[key.source]
+	if set == nil {
+		set = make(map[*list.Element]struct{})
+		c.bySource[key.source] = set
+	}
+	set[el] = struct{}{}
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.removeLocked(c.ll.Back())
 		c.stats.Evictions++
 	}
+}
+
+// removeLocked unlinks one entry from the list, the key map and the
+// source index. Callers hold c.mu and account the removal themselves.
+func (c *resultCache) removeLocked(el *list.Element) {
+	key := el.Value.(*cacheEntry).key
+	c.ll.Remove(el)
+	delete(c.items, key)
+	if set := c.bySource[key.source]; set != nil {
+		delete(set, el)
+		if len(set) == 0 {
+			delete(c.bySource, key.source)
+		}
+	}
+}
+
+// invalidateSources removes every entry whose query source is listed and
+// returns how many were dropped. This is the scoped counterpart of the
+// version-nuke: a delta invalidates exactly the sources that can reach
+// an affected node, and every other source's entries keep serving hits.
+func (c *resultCache) invalidateSources(sources []string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range sources {
+		set := c.bySource[s]
+		for el := range set {
+			c.removeLocked(el)
+			n++
+		}
+	}
+	c.stats.Invalidations += int64(n)
+	return n
 }
 
 // Stats snapshots the counters.

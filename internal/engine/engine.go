@@ -15,9 +15,12 @@
 //     trials over goroutines (Options.MCWorkers) with deterministic
 //     per-shard RNG streams.
 //   - Result caching. Scores are memoized in an LRU keyed by (source,
-//     query-graph fingerprint, graph version, method, options). Mutating
-//     the underlying entity graph bumps its version, which changes every
-//     key derived from it, so stale results can never be served.
+//     query-graph fingerprint, method, options). The fingerprint hashes
+//     the full pruned graph content, so mutating the underlying entity
+//     graph changes the keys of every affected query and stale results
+//     can never be served; InvalidateSources additionally reclaims the
+//     stranded entries for exactly the sources a delta touched (see
+//     InvalidationMode for the legacy whole-graph alternative).
 //
 // The engine is safe for concurrent use; any number of goroutines may
 // call QueryBatch and Rank simultaneously.
@@ -158,6 +161,25 @@ type Response struct {
 	Cached map[string]bool
 }
 
+// InvalidationMode selects how the result and plan caches are kept
+// consistent when the underlying entity graph mutates.
+type InvalidationMode int
+
+const (
+	// InvalidateScoped (the default) keys caches by query-graph content
+	// alone: a mutation changes the affected queries' fingerprints, so a
+	// stale entry can never be looked up, and Engine.InvalidateSources
+	// reclaims the stranded entries for exactly the sources a delta
+	// touched. Queries for unaffected sources keep hitting.
+	InvalidateScoped InvalidationMode = iota
+	// InvalidateVersion is the legacy whole-graph behavior: the entity
+	// graph's mutation counter is folded into every cache key, so any
+	// mutation anywhere strands every cached result and plan. Kept as
+	// the baseline the churn experiments measure scoped invalidation
+	// against.
+	InvalidateVersion
+)
+
 // Config sizes the engine.
 type Config struct {
 	// Workers is the worker-pool size; 0 means runtime.GOMAXPROCS(0).
@@ -180,6 +202,9 @@ type Config struct {
 	// with both zero the engine accepts everything, as it historically
 	// did.
 	MaxQueue int
+	// Invalidation selects the cache-consistency strategy under graph
+	// mutations; the zero value is InvalidateScoped.
+	Invalidation InvalidationMode
 }
 
 // DefaultCacheSize is the default LRU capacity.
@@ -231,12 +256,13 @@ var logPanic = func(format string, args ...any) { log.Printf(format, args...) }
 // Engine executes batched ranking requests over a worker pool. Create
 // one with New and release its workers with Close.
 type Engine struct {
-	resolver Resolver
-	cache    *resultCache
-	plans    *planCache
-	jobs     chan job
-	wg       sync.WaitGroup
-	workers  int
+	resolver     Resolver
+	cache        *resultCache
+	plans        *planCache
+	invalidation InvalidationMode
+	jobs         chan job
+	wg           sync.WaitGroup
+	workers      int
 
 	// Admission control. capacity is the admitted ceiling (0 =
 	// unlimited); pending counts admitted-but-unfinished requests,
@@ -290,9 +316,10 @@ func New(resolver Resolver, cfg Config) *Engine {
 		capacity = inFlight + cfg.MaxQueue
 	}
 	e := &Engine{
-		resolver: resolver,
-		cache:    newResultCache(size), // nil when size < 0
-		plans:    newPlanCache(planSize),
+		resolver:     resolver,
+		cache:        newResultCache(size), // nil when size < 0
+		plans:        newPlanCache(planSize),
+		invalidation: cfg.Invalidation,
 		// Buffered to the admission ceiling: an admitted send can then
 		// never block, so QueryBatch's enqueue loop cannot stall behind
 		// a slow pool and admission "queued" matches channel occupancy.
@@ -330,6 +357,18 @@ func (e *Engine) Close() {
 
 // CacheStats snapshots the result cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// InvalidateSources drops every cached result whose query source is
+// listed, returning how many entries were removed. Callers that apply a
+// graph delta derive the source list from reverse reachability of the
+// delta's affected nodes (graph.Store.SourcesReaching): those are
+// exactly the queries whose pruned graphs — and therefore fingerprints —
+// may have changed. Content keying already prevents stale hits; the
+// point of invalidation is reclaiming the stranded capacity immediately
+// and making churn observable (CacheStats.Invalidations).
+func (e *Engine) InvalidateSources(sources []string) int {
+	return e.cache.invalidateSources(sources)
+}
 
 // PlanStats snapshots the compiled-plan cache counters.
 func (e *Engine) PlanStats() PlanCacheStats { return e.plans.Stats() }
@@ -538,7 +577,13 @@ func (e *Engine) execute(ctx context.Context, req *Request, resp *Response) {
 		methods = rank.MethodNames
 	}
 	fp := qg.Fingerprint()
-	version := qg.Version()
+	// Under scoped invalidation keys are pure content; the version slot
+	// is only populated in the legacy whole-graph mode, where any bump
+	// must strand every key.
+	var version uint64
+	if e.invalidation == InvalidateVersion {
+		version = qg.Version()
+	}
 	okey := req.Options.key()
 
 	results := make(map[string]rank.Result, len(methods))
@@ -590,9 +635,13 @@ func (e *Engine) execute(ctx context.Context, req *Request, resp *Response) {
 }
 
 // planFor returns a compiled kernel plan for qg when one of the missed
-// methods runs on a plan, consulting the plan LRU first. The key pairs
-// the query graph's content fingerprint with the entity graph's
-// version, so mutations strand stale plans exactly like stale results.
+// methods runs on a plan, consulting the plan LRU first. Keys are
+// content fingerprints (plus the graph version in InvalidateVersion
+// mode), so mutations strand stale plans exactly like stale results. On
+// a miss it first looks for a cached plan over the same wiring — the
+// typical aftermath of a probability-only delta — and derives the new
+// plan by patching its coin thresholds (kernel.Plan.Patch, ~2x cheaper
+// than Compile) before falling back to full compilation.
 func (e *Engine) planFor(qg *graph.QueryGraph, fp, version uint64, o rank.AllOptions) *kernel.Plan {
 	needed := false
 	for _, m := range o.Methods {
@@ -608,7 +657,18 @@ func (e *Engine) planFor(qg *graph.QueryGraph, fp, version uint64, o rank.AllOpt
 	if plan := e.plans.get(key); plan != nil && plan.Matches(qg) {
 		return plan
 	}
-	plan := kernel.Compile(qg)
-	e.plans.put(key, plan)
+	topo := qg.TopoFingerprint()
+	patched := false
+	var plan *kernel.Plan
+	if prev := e.plans.topoGet(topo); prev != nil {
+		// Patch verifies the wiring edge by edge and refuses on any
+		// mismatch, so a topology-fingerprint collision degrades to a
+		// compile, never to a wrong plan.
+		plan, patched = prev.Patch(qg)
+	}
+	if plan == nil {
+		plan = kernel.Compile(qg)
+	}
+	e.plans.put(key, topo, plan, patched)
 	return plan
 }

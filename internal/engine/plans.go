@@ -9,23 +9,27 @@ import (
 
 // planKey identifies one compiled kernel plan. The fingerprint hashes
 // the full pruned query graph (structure, probabilities, source, answer
-// set) and the version is the underlying entity graph's mutation
-// counter, so a stale plan can never be looked up after a mutation.
-// Keying by content rather than graph identity is what makes the cache
-// effective: the resolver builds a fresh QueryGraph object per query,
-// but repeated queries for the same source produce fingerprint-equal
-// graphs and reuse one plan.
+// set); version is 0 under scoped invalidation and the entity graph's
+// mutation counter under the legacy InvalidateVersion mode (see
+// cacheKey). Keying by content rather than graph identity is what makes
+// the cache effective: the resolver builds a fresh QueryGraph object per
+// query, but repeated queries for the same source produce
+// fingerprint-equal graphs and reuse one plan.
 type planKey struct {
 	fp      uint64
 	version uint64
 }
 
 // PlanCacheStats reports the plan cache's cumulative counters. A plan
-// hit means a ranking request skipped CSR compilation entirely.
+// hit means a ranking request skipped CSR compilation entirely; a patch
+// means a miss was served by rewriting the coin thresholds of a
+// topology-equal predecessor (kernel.Plan.Patch) instead of compiling
+// from scratch.
 type PlanCacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	Patches   int64
 	Entries   int
 }
 
@@ -34,17 +38,24 @@ type PlanCacheStats struct {
 // are compiled from.
 const DefaultPlanCacheSize = 256
 
-// planCache is a mutex-guarded LRU mapping planKey to compiled plans.
+// planCache is a mutex-guarded LRU mapping planKey to compiled plans,
+// with a secondary index by topology fingerprint: after a
+// probability-only delta the new content fingerprint misses, but the
+// topology index still finds the predecessor plan to patch.
 type planCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[planKey]*list.Element
-	stats PlanCacheStats
+	// byTopo maps a query graph's topology fingerprint to the most
+	// recently stored plan with that wiring (probabilities aside).
+	byTopo map[uint64]*list.Element
+	stats  PlanCacheStats
 }
 
 type planEntry struct {
 	key  planKey
+	topo uint64
 	plan *kernel.Plan
 }
 
@@ -53,9 +64,10 @@ func newPlanCache(capacity int) *planCache {
 		return nil // plan caching disabled
 	}
 	return &planCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[planKey]*list.Element, capacity),
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[planKey]*list.Element, capacity),
+		byTopo: make(map[uint64]*list.Element),
 	}
 }
 
@@ -76,24 +88,54 @@ func (c *planCache) get(key planKey) *kernel.Plan {
 	return el.Value.(*planEntry).plan
 }
 
+// topoGet returns the latest plan whose graph had the given topology
+// fingerprint, or nil. It does not count as a hit or miss: it only runs
+// after get already missed, to decide between patching and compiling.
+func (c *planCache) topoGet(topo uint64) *kernel.Plan {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byTopo[topo]; ok {
+		return el.Value.(*planEntry).plan
+	}
+	return nil
+}
+
 // put stores a plan under key, evicting the least recently used entry
-// when over capacity.
-func (c *planCache) put(key planKey, plan *kernel.Plan) {
+// when over capacity. patched records whether the plan was derived by
+// Plan.Patch rather than compiled.
+func (c *planCache) put(key planKey, topo uint64, plan *kernel.Plan, patched bool) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if patched {
+		c.stats.Patches++
+	}
 	if el, ok := c.items[key]; ok {
-		el.Value.(*planEntry).plan = plan
+		e := el.Value.(*planEntry)
+		e.plan = plan
+		e.topo = topo
+		c.byTopo[topo] = el
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	el := c.ll.PushFront(&planEntry{key: key, topo: topo, plan: plan})
+	c.items[key] = el
+	c.byTopo[topo] = el
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*planEntry).key)
+		e := oldest.Value.(*planEntry)
+		delete(c.items, e.key)
+		// Only drop the topology index when it still points at the entry
+		// being evicted; a newer plan with the same wiring keeps it.
+		if c.byTopo[e.topo] == oldest {
+			delete(c.byTopo, e.topo)
+		}
 		c.stats.Evictions++
 	}
 }

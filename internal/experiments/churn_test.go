@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnScopedBeatsVersionNuke pins the headline claim of the
+// incremental-integration work: under an identical mixed read/write
+// stream, scoped invalidation keeps a usefully higher result-cache hit
+// rate than folding the graph version into every key — without ever
+// serving an answer that differs from a cold recompute.
+func TestChurnScopedBeatsVersionNuke(t *testing.T) {
+	s := suite(t)
+	res, err := s.Churn(120, 0.3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ChurnModeResult{res.Scoped, res.Nuke} {
+		if m.Reads+m.Writes != 120 {
+			t.Fatalf("%s: %d reads + %d writes != 120 ops", m.Mode, m.Reads, m.Writes)
+		}
+		if m.Writes == 0 || m.Reads == 0 {
+			t.Fatalf("%s: degenerate workload (%d reads, %d writes)", m.Mode, m.Reads, m.Writes)
+		}
+		if m.Stale != 0 {
+			t.Fatalf("%s: %d stale answers — cache served scores that differ from a cold recompute", m.Mode, m.Stale)
+		}
+	}
+	if res.Scoped.HitRate <= res.Nuke.HitRate {
+		t.Fatalf("scoped hit rate %.3f should beat version-nuke %.3f",
+			res.Scoped.HitRate, res.Nuke.HitRate)
+	}
+	if res.Scoped.Invalidations == 0 {
+		t.Fatal("scoped mode never invalidated anything; the writes did not reach the cache")
+	}
+	// Probability-only writes must let at least one plan be patched
+	// rather than recompiled in each mode.
+	if res.Scoped.PlanPatches+res.Nuke.PlanPatches == 0 {
+		t.Fatal("no plan was ever patched; the probability-only fast path is dead")
+	}
+	out := RenderChurn(res)
+	if !strings.Contains(out, "scoped") || !strings.Contains(out, "version-nuke") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}

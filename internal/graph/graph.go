@@ -64,11 +64,36 @@ type Graph struct {
 	// by (graph identity, version) are invalidated for free: a mutation
 	// bumps the version, so stale entries can never be looked up again.
 	version uint64
+
+	// sourceEpochs counts applied deltas per source (see ApplyDelta).
+	// Unlike version, an epoch advances even when a delta turns out to be
+	// a no-op: it records ingestion progress, not content change.
+	sourceEpochs map[string]uint64
 }
 
 // Version returns the graph's mutation counter. It starts at 0 and is
 // bumped by AddNode, AddEdge, SetNodeP and SetEdgeQ. Clone preserves it.
 func (g *Graph) Version() uint64 { return g.version }
+
+// SetVersion overwrites the mutation counter. Query-graph construction
+// builds a fresh pruned copy whose counter reflects its own build steps,
+// not the live graph it was cut from; resolvers that serve snapshots of a
+// mutating store stamp the store's version onto the snapshot so that
+// version-keyed caches see one coherent clock.
+func (g *Graph) SetVersion(v uint64) { g.version = v }
+
+// SourceEpoch returns the number of deltas applied from the given source
+// (0 if the source has never delivered one).
+func (g *Graph) SourceEpoch(source string) uint64 { return g.sourceEpochs[source] }
+
+// SourceEpochs returns a copy of the per-source epoch map.
+func (g *Graph) SourceEpochs() map[string]uint64 {
+	out := make(map[string]uint64, len(g.sourceEpochs))
+	for k, v := range g.sourceEpochs {
+		out[k] = v
+	}
+	return out
+}
 
 // New returns an empty graph with capacity hints for n nodes and m edges.
 func New(n, m int) *Graph {
@@ -197,6 +222,12 @@ func (g *Graph) Clone() *Graph {
 	}
 	for i := range g.in {
 		c.in[i] = append([]EdgeID(nil), g.in[i]...)
+	}
+	if len(g.sourceEpochs) > 0 {
+		c.sourceEpochs = make(map[string]uint64, len(g.sourceEpochs))
+		for k, v := range g.sourceEpochs {
+			c.sourceEpochs[k] = v
+		}
 	}
 	return c
 }

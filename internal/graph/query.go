@@ -111,6 +111,45 @@ func (qg *QueryGraph) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
+// TopoFingerprint returns a hash of the query graph's topology only:
+// node identities, edge wiring and kinds, source, and answers — with all
+// probabilities excluded. Two query graphs with equal topo fingerprints
+// differ (up to hash collision) only in their p/q values, which is the
+// precondition for patching a compiled plan's coin thresholds in place of
+// a full recompile (kernel.Plan.Patch).
+func (qg *QueryGraph) TopoFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wu(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wu(uint64(qg.NumNodes()))
+	for i := 0; i < qg.NumNodes(); i++ {
+		n := qg.Node(NodeID(i))
+		ws(n.Kind)
+		ws(n.Label)
+	}
+	wu(uint64(qg.NumEdges()))
+	for i := 0; i < qg.NumEdges(); i++ {
+		e := qg.Edge(EdgeID(i))
+		wu(uint64(uint32(e.From))<<32 | uint64(uint32(e.To)))
+		ws(e.Kind)
+	}
+	wu(uint64(uint32(qg.Source)))
+	wu(uint64(len(qg.Answers)))
+	for _, a := range qg.Answers {
+		wu(uint64(uint32(a)))
+	}
+	return h.Sum64()
+}
+
 // AnswerIndex returns a map from answer node ID to its index within the
 // Answers slice.
 func (qg *QueryGraph) AnswerIndex() map[NodeID]int {

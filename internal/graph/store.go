@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store wraps a Graph as a live, concurrently mutable database: readers
+// take consistent snapshots under a read lock while ingestion applies
+// deltas under the write lock. It also keeps a bounded mutation log so
+// that coordinators which fell behind can catch up incrementally instead
+// of re-reading the whole graph.
+//
+// The locking granularity is deliberately coarse. Queries clone the
+// reachable subgraph out of the store (Exploratory.Run copies before it
+// mutates), so the read critical section is a single traversal + copy;
+// writes are delta-sized. Under the paper's workloads — many reads, a
+// trickle of source updates — a RWMutex is far from contention.
+type Store struct {
+	mu sync.RWMutex
+	g  *Graph
+
+	log    []DeltaResult // ring of the most recent deltas, oldest first
+	logCap int
+
+	deltas    uint64 // total deltas applied over the store's lifetime
+	probOnly  uint64 // deltas that changed probabilities only
+	nodesAdd  uint64
+	edgesAdd  uint64
+	probEdits uint64
+}
+
+// DefaultStoreLogCap bounds the mutation log. 1024 deltas is hours of
+// realistic source churn; beyond that a catch-up reader should rebuild.
+const DefaultStoreLogCap = 1024
+
+// NewStore takes ownership of g and serves it as a live store. The caller
+// must not mutate g afterwards except through the store.
+func NewStore(g *Graph) *Store {
+	return &Store{g: g, logCap: DefaultStoreLogCap}
+}
+
+// SetLogCap adjusts the mutation-log bound (min 1). Only meaningful
+// before concurrent use.
+func (s *Store) SetLogCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.logCap = n
+	if len(s.log) > n {
+		s.log = append([]DeltaResult(nil), s.log[len(s.log)-n:]...)
+	}
+}
+
+// Apply validates and applies one delta under the write lock, records it
+// in the mutation log, and returns what changed.
+func (s *Store) Apply(d Delta) (DeltaResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.g.ApplyDelta(d)
+	if err != nil {
+		return DeltaResult{}, err
+	}
+	s.deltas++
+	if res.ProbOnly {
+		s.probOnly++
+	}
+	s.nodesAdd += uint64(res.NodesAdded)
+	s.edgesAdd += uint64(res.EdgesAdded)
+	s.probEdits += uint64(res.ProbChanges)
+	s.log = append(s.log, res)
+	if len(s.log) > s.logCap {
+		// Drop the oldest entries; copy so the backing array does not
+		// grow without bound.
+		s.log = append([]DeltaResult(nil), s.log[len(s.log)-s.logCap:]...)
+	}
+	return res, nil
+}
+
+// View runs fn with the live graph under the read lock. fn must not
+// mutate the graph and must not retain it past the call; copy out
+// whatever outlives the critical section.
+func (s *Store) View(fn func(*Graph)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.g)
+}
+
+// Version returns the live graph's mutation counter.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g.Version()
+}
+
+// Since returns the logged deltas applied after the given graph version,
+// oldest first. ok is false when the log has already dropped deltas from
+// that range, in which case the caller must assume everything changed.
+func (s *Store) Since(version uint64) (results []DeltaResult, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.g.Version() == version {
+		return nil, true
+	}
+	// The log covers the requested range iff its oldest entry either is
+	// the first delta ever applied or starts at-or-before the requested
+	// version. A delta's recorded Version is the graph version after it
+	// applied, so coverage requires some entry with Version <= version or
+	// the log holding the store's entire history.
+	if uint64(len(s.log)) < s.deltas {
+		covered := false
+		for _, r := range s.log {
+			if r.Version <= version {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return nil, false
+		}
+	}
+	for _, r := range s.log {
+		if r.Version > version {
+			results = append(results, r)
+		}
+	}
+	return results, true
+}
+
+// SourcesReaching returns, sorted, the labels of all nodes of the given
+// kind that can reach any node in affected. These are exactly the query
+// sources whose integrated neighborhoods a delta may have changed: a
+// cached result for any other source is still valid, because reachability
+// from it was not altered (the graph only grows and probability edits
+// only touch affected nodes).
+//
+// affected holds NodeIDs from a DeltaResult; IDs remain valid across
+// later deltas because nodes are never deleted.
+func (s *Store) SourcesReaching(kind string, affected []NodeID) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(affected) == 0 {
+		return nil
+	}
+	co := s.g.CoReachable(affected)
+	var labels []string
+	for i := 0; i < s.g.NumNodes(); i++ {
+		if co[i] {
+			if n := s.g.Node(NodeID(i)); n.Kind == kind {
+				labels = append(labels, n.Label)
+			}
+		}
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// StoreStats summarizes the store for observability endpoints.
+type StoreStats struct {
+	Nodes, Edges   int
+	Version        uint64
+	Deltas         uint64
+	ProbOnlyDeltas uint64
+	NodesAdded     uint64
+	EdgesAdded     uint64
+	ProbChanges    uint64
+	LogLen         int
+	Epochs         map[string]uint64
+}
+
+// Stat returns a snapshot of the store's counters.
+func (s *Store) Stat() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return StoreStats{
+		Nodes:          s.g.NumNodes(),
+		Edges:          s.g.NumEdges(),
+		Version:        s.g.Version(),
+		Deltas:         s.deltas,
+		ProbOnlyDeltas: s.probOnly,
+		NodesAdded:     s.nodesAdd,
+		EdgesAdded:     s.edgesAdd,
+		ProbChanges:    s.probEdits,
+		LogLen:         len(s.log),
+		Epochs:         s.g.SourceEpochs(),
+	}
+}

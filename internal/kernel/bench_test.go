@@ -208,3 +208,24 @@ func BenchmarkCompile(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPlanPatch measures incremental plan maintenance after a
+// probability-only delta: rebuild the coin thresholds, share the
+// topology. Its margin over BenchmarkCompile (which pays a topological
+// sort and the full allocation set per call) is the payoff of patching
+// on the ingest path.
+func BenchmarkPlanPatch(b *testing.B) {
+	qg := benchPlanGraph()
+	base := Compile(qg)
+	// A realistic small delta: one node and one edge reweighted.
+	qg.SetNodeP(qg.Answers[0], 0.123)
+	qg.SetEdgeQ(0, 0.456)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		np, ok := base.Patch(qg)
+		if !ok || np.NumNodes() == 0 {
+			b.Fatal("patch failed")
+		}
+	}
+}

@@ -194,6 +194,45 @@ func (m *Mediator) Integrate(keyword string) (*graph.Graph, error) {
 	return b.g, nil
 }
 
+// IntegrateAll materializes one union probabilistic entity graph covering
+// every given keyword: the integration paths of all matched proteins are
+// expanded into a single graph with nodes deduplicated by (kind, label),
+// so evidence shared between keywords (genes, GO terms, profile families)
+// meets at shared nodes. This is the world a live, incrementally mutated
+// graph.Store serves — per-keyword query graphs are then carved out of it
+// by an Exploratory query whose Match predicate selects that keyword's
+// protein accessions (see Accessions).
+//
+// Keywords that match no protein are skipped; an error is returned only
+// when nothing matches at all.
+func (m *Mediator) IntegrateAll(keywords []string) (*graph.Graph, error) {
+	b := newBuilder(m)
+	matched := 0
+	for _, kw := range keywords {
+		prots := m.reg.EntrezProtein.ByName(kw)
+		matched += len(prots)
+		for _, p := range prots {
+			b.addProtein(p)
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("mediator: no protein matches any of %d keywords", len(keywords))
+	}
+	return b.g, nil
+}
+
+// Accessions returns the accession labels of the protein records matching
+// the keyword — the KindProtein node labels the keyword's exploratory
+// query selects inside a union graph built by IntegrateAll.
+func (m *Mediator) Accessions(keyword string) []string {
+	prots := m.reg.EntrezProtein.ByName(keyword)
+	out := make([]string, len(prots))
+	for i, p := range prots {
+		out[i] = p.Accession
+	}
+	return out
+}
+
 // builder accumulates the entity graph with nodes deduplicated by
 // (kind, label) — converging evidence paths meet at shared nodes, which
 // is what makes redundancy visible to the ranking methods.
