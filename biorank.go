@@ -878,6 +878,7 @@ func (s *System) PlanStats() engine.PlanCacheStats {
 // concurrent goroutines, and without ever having batched.
 func (s *System) Close() {
 	s.engineHandle().Close()
+	s.closeDurability()
 }
 
 // FunctionName returns a human-readable name for a GO term identifier

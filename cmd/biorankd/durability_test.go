@@ -1,0 +1,345 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"biorank"
+)
+
+// durableTestServer builds a live server whose store write-ahead-logs
+// into dir with -fsync always, plus an async ingester — the biorankd
+// configuration the durability tests exercise.
+func durableTestServer(t *testing.T, seed uint64, dir string) *server {
+	t.Helper()
+	sys, err := biorank.NewDemoSystem(seed)
+	if err != nil {
+		t.Fatalf("demo system: %v", err)
+	}
+	if _, err := sys.EnableLiveDurable(biorank.DurabilityConfig{Dir: dir, Fsync: "always"}); err != nil {
+		t.Fatalf("enable durable: %v", err)
+	}
+	srv := &server{sys: sys, world: "demo"}
+	srv.ingest = newIngester(sys, 16)
+	srv.ready.Store(true)
+	t.Cleanup(sys.Close)
+	return srv
+}
+
+// setPBody builds a one-op /ingest body revising acc's presence
+// probability.
+func setPBody(source, acc string, p float64, async bool) string {
+	asyncField := ""
+	if async {
+		asyncField = `"async":true,`
+	}
+	return fmt.Sprintf(`{%s"source":%q,"ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":%q},"p":%g}]}`,
+		asyncField, source, acc, p)
+}
+
+// TestDrainFlushesThenCheckpoints is the teardown-ordering regression
+// test: async batches acknowledged with 202 before a shutdown must be
+// applied by the drain's queue flush AND covered by the shutdown
+// checkpoint. If drain() checkpointed before (or concurrently with) the
+// final flush, LastCheckpointSeq would land below the flushed batches.
+func TestDrainFlushesThenCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	srv := durableTestServer(t, 7, dir)
+	acc := "NP_" + srv.sys.Proteins()[0]
+
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		code, out := do(t, srv.handleIngest, http.MethodPost, "/ingest",
+			setPBody("churn", acc, 0.30+float64(i)*0.05, true))
+		if code != http.StatusAccepted {
+			t.Fatalf("async ingest %d -> %d: %v", i, code, out)
+		}
+	}
+	// Drain immediately: some batches are typically still queued, so the
+	// test only passes when the checkpoint runs after the flush.
+	srv.drain()
+
+	if applied := srv.ingest.applied.Load(); applied != batches {
+		t.Fatalf("drain applied %d deltas, want %d", applied, batches)
+	}
+	live, ok := srv.sys.LiveStats()
+	if !ok || live.Deltas != batches {
+		t.Fatalf("live store holds %d deltas after drain, want %d", live.Deltas, batches)
+	}
+	ds, ok := srv.sys.DurabilityStats()
+	if !ok {
+		t.Fatal("no durability stats")
+	}
+	if ds.LastCheckpointSeq != batches {
+		t.Fatalf("shutdown checkpoint at seq %d, want %d (checkpoint ran before the final flush?)",
+			ds.LastCheckpointSeq, batches)
+	}
+}
+
+// readWALSegments returns the directory's WAL segments as name→bytes.
+func readWALSegments(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(segs))
+	for _, seg := range segs {
+		buf, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(seg)] = buf
+	}
+	return out
+}
+
+// TestIngestRetryMatchesCleanBatch pins the reconciliation contract of
+// the 422 partial-failure path: a batch whose second delta fails
+// validation applies its first delta only, and a corrected retry of the
+// failed remainder leaves the store version, source epochs and the WAL
+// contents byte-identical to a server that ingested one clean batch.
+// Rejected deltas must therefore never reach the log.
+func TestIngestRetryMatchesCleanBatch(t *testing.T) {
+	goodOp := `{"source":"blast","ops":[{"op":"upsert-node","node":{"kind":"EntrezProtein","label":"NP_RETRY1"},"p":0.6}]}`
+	fixedOp := `{"source":"curation","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"NP_RETRY1"},"p":0.8}]}`
+	badOp := `{"source":"curation","ops":[{"op":"set-node-p","node":{"kind":"EntrezProtein","label":"NP_NO_SUCH"},"p":0.8}]}`
+
+	dirA := t.TempDir()
+	srvA := durableTestServer(t, 9, dirA)
+	code, out := do(t, srvA.handleIngest, http.MethodPost, "/ingest",
+		`{"deltas":[`+goodOp+`,`+badOp+`]}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("partial-failure batch -> %d: %v", code, out)
+	}
+	partial, ok := out["result"].(map[string]any)
+	if !ok || partial["deltas"].(float64) != 1 {
+		t.Fatalf("422 response does not report the partial effect: %v", out)
+	}
+	code, out = do(t, srvA.handleIngest, http.MethodPost, "/ingest",
+		`{"deltas":[`+fixedOp+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("corrected retry -> %d: %v", code, out)
+	}
+
+	dirB := t.TempDir()
+	srvB := durableTestServer(t, 9, dirB)
+	if code, out := do(t, srvB.handleIngest, http.MethodPost, "/ingest",
+		`{"deltas":[`+goodOp+`,`+fixedOp+`]}`); code != http.StatusOK {
+		t.Fatalf("clean batch -> %d: %v", code, out)
+	}
+
+	liveA, _ := srvA.sys.LiveStats()
+	liveB, _ := srvB.sys.LiveStats()
+	if liveA.Version != liveB.Version || liveA.Deltas != liveB.Deltas {
+		t.Fatalf("retry path at version %d/%d deltas, clean batch at %d/%d",
+			liveA.Version, liveA.Deltas, liveB.Version, liveB.Deltas)
+	}
+	if len(liveA.Epochs) != len(liveB.Epochs) {
+		t.Fatalf("epochs diverge: %v vs %v", liveA.Epochs, liveB.Epochs)
+	}
+	for src, ep := range liveB.Epochs {
+		if liveA.Epochs[src] != ep {
+			t.Fatalf("epoch[%s] = %d on the retry path, want %d", src, liveA.Epochs[src], ep)
+		}
+	}
+
+	// The WAL itself must be identical: the rejected delta left no trace,
+	// so both directories logged the same two records into the same
+	// segments.
+	if err := srvA.sys.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvB.sys.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	segsA, segsB := readWALSegments(t, dirA), readWALSegments(t, dirB)
+	if len(segsA) == 0 || len(segsA) != len(segsB) {
+		t.Fatalf("segment sets differ: %d vs %d", len(segsA), len(segsB))
+	}
+	for name, bufA := range segsA {
+		bufB, ok := segsB[name]
+		if !ok {
+			t.Fatalf("segment %s missing from the clean directory", name)
+		}
+		if !bytes.Equal(bufA, bufB) {
+			t.Fatalf("segment %s differs between retry and clean paths (%d vs %d bytes)",
+				name, len(bufA), len(bufB))
+		}
+	}
+}
+
+// TestHelperDurableServer is not a test: it is the child process of
+// TestKill9MidChurnRecovers, re-executing this test binary as a durable
+// biorankd (fsync always) that serves until SIGKILLed. It prints its
+// listen address on stdout and never returns on its own.
+func TestHelperDurableServer(t *testing.T) {
+	dir := os.Getenv("BIORANKD_E2E_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestKill9MidChurnRecovers")
+	}
+	// Belt against leaks if the parent dies without killing us.
+	go func() {
+		time.Sleep(2 * time.Minute)
+		os.Exit(1)
+	}()
+	sys, err := biorank.NewDemoSystem(13)
+	if err != nil {
+		t.Fatalf("demo system: %v", err)
+	}
+	if _, err := sys.EnableLiveDurable(biorank.DurabilityConfig{Dir: dir, Fsync: "always"}); err != nil {
+		t.Fatalf("enable durable: %v", err)
+	}
+	srv := &server{sys: sys, world: "demo"}
+	srv.ready.Store(true)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("ADDR=%s\n", ln.Addr())
+	t.Fatal(http.Serve(ln, srv.mux())) // unreachable until killed
+}
+
+// TestKill9MidChurnRecovers is the end-to-end acceptance test for the
+// fsync=always contract: a real biorankd child process is SIGKILLed in
+// the middle of an ingest churn — no drain, no checkpoint, no WAL close
+// — and a recovery over its directory must hold every delta the child
+// acknowledged with 200 before dying. Zero acknowledged-then-lost.
+func TestKill9MidChurnRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperDurableServer$")
+	cmd.Env = append(os.Environ(), "BIORANKD_E2E_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill() //nolint:errcheck // idempotent cleanup
+		cmd.Wait()         //nolint:errcheck // reap
+	}()
+
+	// The child prints ADDR=host:port once its listener is up.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ADDR="); ok {
+				addrc <- a
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a
+	case <-time.After(30 * time.Second):
+		t.Fatal("child never reported its listen address")
+	}
+
+	// Churn: hammer synchronous ingests and track the highest version the
+	// server acknowledged. The main goroutine kills the child after 20
+	// acknowledgements, so the kill lands between (or inside) requests.
+	client := &http.Client{Timeout: 5 * time.Second}
+	var (
+		mu         sync.Mutex
+		acked      uint64
+		maxVersion uint64
+	)
+	churnDone := make(chan struct{})
+	enough := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			body := setPBody("churn", "NP_CHURN", 0.2+float64(i%7)*0.1, false)
+			if i == 0 {
+				body = `{"source":"churn","ops":[{"op":"upsert-node","node":{"kind":"EntrezProtein","label":"NP_CHURN"},"p":0.5}]}`
+			}
+			resp, err := client.Post(base+"/ingest", "application/json", strings.NewReader(body))
+			if err != nil {
+				return // the kill landed
+			}
+			var res biorank.IngestResult
+			code := resp.StatusCode
+			decodeErr := jsonDecode(resp.Body, &res)
+			resp.Body.Close()
+			if code != http.StatusOK || decodeErr != nil {
+				return
+			}
+			mu.Lock()
+			acked++
+			if res.Version > maxVersion {
+				maxVersion = res.Version
+			}
+			if acked == 20 {
+				close(enough)
+			}
+			mu.Unlock()
+		}
+	}()
+	select {
+	case <-enough:
+	case <-churnDone:
+		t.Fatal("churn ended before 20 acknowledgements")
+	case <-time.After(60 * time.Second):
+		t.Fatal("churn never reached 20 acknowledgements")
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no sync
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // exits by signal
+	<-churnDone
+	mu.Lock()
+	ackedFinal, wantVersion := acked, maxVersion
+	mu.Unlock()
+
+	// Recover the child's directory in-process and require every
+	// acknowledged delta.
+	sys, err := biorank.NewDemoSystem(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.EnableLiveDurable(biorank.DurabilityConfig{Dir: dir, Fsync: "always"})
+	if err != nil {
+		t.Fatalf("recovery after kill -9: %v", err)
+	}
+	defer sys.Close()
+	if !st.Recovered {
+		t.Fatal("recovery did not engage")
+	}
+	live, _ := sys.LiveStats()
+	if live.Version < wantVersion {
+		t.Fatalf("recovered version %d < highest acknowledged %d: acknowledged deltas were lost",
+			live.Version, wantVersion)
+	}
+	if live.Deltas < ackedFinal {
+		t.Fatalf("recovered %d deltas < %d acknowledged", live.Deltas, ackedFinal)
+	}
+	t.Logf("kill -9 after %d acks at version %d; recovered to version %d (%d replayed, torn tail %v)",
+		ackedFinal, wantVersion, live.Version, st.Recovery.Replayed, st.Recovery.TornTailTruncated)
+}
+
+// jsonDecode decodes one JSON value from r (a tiny helper so the churn
+// loop stays readable).
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

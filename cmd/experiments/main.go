@@ -6,7 +6,7 @@
 //
 // Extensions beyond the paper run only when named explicitly:
 //
-//	experiments ablation scaling racer worlds planner stability degradation churn
+//	experiments ablation scaling racer worlds planner stability degradation churn recovery
 //
 // Output is printed as fixed-width text tables with the paper's reported
 // values alongside for comparison; EXPERIMENTS.md is generated from this
@@ -215,6 +215,23 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.RenderChurn(res))
+			// Durability pass: the same write stream, now through the WAL
+			// under each fsync policy.
+			dur, err := suite.ChurnDurability(0)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderChurnDurability(dur))
+			return nil
+		})
+	}
+	if want["recovery"] {
+		run("recovery", func() error {
+			res, err := suite.Recovery(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderRecovery(res))
 			return nil
 		})
 	}

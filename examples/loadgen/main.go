@@ -39,7 +39,11 @@
 // that can reach an affected record; untouched plans are patched, not
 // recompiled) and once with the legacy version-nuke baseline (any
 // mutation strands every cache entry). The two passes print read-latency
-// percentiles and cache hit rates side by side; in-process only.
+// percentiles and cache hit rates side by side; in-process only. A
+// durability pass follows: the same write stream replayed through a
+// WAL-backed live store under each fsync policy (plus a no-WAL
+// baseline), reporting ingest p50/p99/max per policy — the measured
+// price of -wal-dir at each durability level.
 //
 //	go run ./examples/loadgen -mode churn -clients 8 -rounds 40 -write-rate 0.2
 //
@@ -101,6 +105,7 @@ func main() {
 		} {
 			runChurn(pass.name, pass.inv, *clients, *rounds, *trials, *seed, *writeRate)
 		}
+		runChurnDurability(*clients, *rounds, *seed)
 		return
 	}
 
@@ -401,6 +406,88 @@ func runChurn(name string, inv biorank.InvalidationMode, clients, rounds, trials
 		rate(cs.Hits, cs.Hits+cs.Misses), cs.Hits, cs.Misses, cs.Invalidations, cs.Evictions)
 	fmt.Printf("  plan cache: %d hits, %d misses, %d patched (compiles avoided)\n",
 		ps.Hits, ps.Misses, ps.Patches)
+}
+
+// runChurnDurability is the churn drill's durability pass: the write
+// stream alone, replayed through a durable live store under each fsync
+// policy (and once with no WAL at all), with concurrent clients racing
+// on the store's write lock exactly as the mixed drill does. The
+// headline number is ingest p99 per policy — what an acknowledged
+// durable write costs under "always", what the bounded-loss "interval"
+// compromise costs, and what the WAL's CPU-side overhead is ("never"
+// vs "none").
+func runChurnDurability(clients, rounds int, seed uint64) {
+	for _, policy := range []string{"none", "never", "interval", "always"} {
+		sys, err := biorank.NewDemoSystem(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if policy == "none" {
+			if err := sys.EnableLive(); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			dir, err := os.MkdirTemp("", "loadgen-wal-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			if _, err := sys.EnableLiveDurable(biorank.DurabilityConfig{Dir: dir, Fsync: policy}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		proteins := sys.Proteins()
+		var errs atomic.Int64
+		latencies := make([][]time.Duration, clients)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(client int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(seed)*1e6 + int64(client)))
+				lats := make([]time.Duration, 0, rounds)
+				for round := 0; round < rounds; round++ {
+					p := proteins[(client*4+round)%len(proteins)]
+					accs := sys.Accessions(p)
+					delta := biorank.IngestDelta{Source: "churn", Ops: []biorank.IngestOp{{
+						Op:   "set-node-p",
+						Node: biorank.IngestRef{Kind: "EntrezProtein", Label: accs[rng.Intn(len(accs))]},
+						P:    0.5 + 0.5*rng.Float64(),
+					}}}
+					t0 := time.Now()
+					if _, err := sys.Ingest(delta); err != nil {
+						errs.Add(1)
+						continue
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				latencies[client] = lats
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		var all []time.Duration
+		for c := range latencies {
+			all = append(all, latencies[c]...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		fmt.Printf("loadgen[churn-durability/%s]: %d clients x %d writes, %d errors in %v\n",
+			policy, clients, rounds, errs.Load(), elapsed.Round(time.Millisecond))
+		if len(all) > 0 {
+			fmt.Printf("  ingest latency: p50=%v p99=%v max=%v (%.0f writes/sec)\n",
+				percentile(all, 0.50).Round(time.Microsecond),
+				percentile(all, 0.99).Round(time.Microsecond),
+				all[len(all)-1].Round(time.Microsecond),
+				float64(len(all))/elapsed.Seconds())
+		}
+		if ds, ok := sys.DurabilityStats(); ok {
+			fmt.Printf("  wal: %d appends, %d syncs, %d rotations, %d checkpoints\n",
+				ds.Log.Appends, ds.Log.Syncs, ds.Log.Rotations, ds.Checkpoints)
+		}
+		sys.Close()
+	}
 }
 
 // rate is a safe percentage.

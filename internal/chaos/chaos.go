@@ -3,12 +3,15 @@
 // schedule, so the serving stack's failure paths — per-request error
 // isolation, panic recovery, deadline truncation, load shedding — can
 // be exercised by ordinary tests and load generators instead of
-// waiting for production to exercise them first.
+// waiting for production to exercise them first. FaultFS (fs.go)
+// extends the harness below the stack with deterministic disk faults
+// for the write-ahead log's crash-recovery suite.
 //
-// The package deliberately imports only internal/graph. The engine
-// accepts any implementation of its Resolver interface structurally,
-// so chaos.Resolver plugs into engine.New (and the facade) without a
-// dependency edge that would cycle through the engine's own tests.
+// The package deliberately imports only internal/graph and internal/wal.
+// The engine accepts any implementation of its Resolver interface
+// structurally, so chaos.Resolver plugs into engine.New (and the
+// facade) without a dependency edge that would cycle through the
+// engine's own tests.
 package chaos
 
 import (

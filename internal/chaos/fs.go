@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"biorank/internal/wal"
+)
+
+// This file extends the harness below the serving stack: a wal.FS
+// wrapper that injects disk faults — short writes, fsync errors, torn
+// tails, bit-flip corruption — on deterministic, seeded schedules. The
+// recovery suite uses it to prove the WAL's durability contract: every
+// injected fault either leaves a recoverable log (torn tail truncation)
+// or is refused loudly, never absorbed into silently wrong state.
+
+// ErrInjectedWrite is the error carried by injected short writes.
+var ErrInjectedWrite = errors.New("chaos: injected short write")
+
+// ErrInjectedSync is the error carried by injected fsync failures.
+var ErrInjectedSync = errors.New("chaos: injected fsync failure")
+
+// FaultFS wraps a wal.FS with deterministic write-path fault injection.
+// Schedules are keyed to a global operation counter (one tick per Write
+// or Sync call across all files), so a given (seed, schedule) pair
+// replays the exact same fault sequence every run. Reads are never
+// faulted here — read-side corruption is modeled by FlipBit, which
+// damages bytes durably at write time, the way a decayed disk would.
+type FaultFS struct {
+	inner wal.FS
+
+	mu sync.Mutex
+	op uint64 // write+sync operation counter
+
+	// ShortWriteEvery makes every Nth write persist only half its bytes
+	// and return ErrInjectedWrite; 0 disables. This models a crash or
+	// ENOSPC mid-write: the bytes that did land stay on disk.
+	ShortWriteEvery uint64
+	// SyncErrEvery makes every Nth sync return ErrInjectedSync without
+	// syncing; 0 disables.
+	SyncErrEvery uint64
+	// FlipBitEvery corrupts one bit in every Nth write before it lands;
+	// 0 disables. The write itself succeeds — the damage is only
+	// discovered by whoever checks integrity later.
+	FlipBitEvery uint64
+	// Seed drives which byte/bit a FlipBitEvery fault damages.
+	Seed uint64
+
+	shortWrites uint64
+	syncErrs    uint64
+	bitFlips    uint64
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem) with the given
+// seed. Schedules start disabled; set the *Every fields before use.
+func NewFaultFS(inner wal.FS, seed uint64) *FaultFS {
+	if inner == nil {
+		inner = wal.OSFS
+	}
+	return &FaultFS{inner: inner, Seed: seed}
+}
+
+// splitmix64 is the standard 64-bit mix; deterministic fault placement
+// without math/rand state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShortWrites reports how many short writes were injected.
+func (f *FaultFS) ShortWrites() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.shortWrites }
+
+// SyncErrs reports how many fsync failures were injected.
+func (f *FaultFS) SyncErrs() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.syncErrs }
+
+// BitFlips reports how many bit flips were injected.
+func (f *FaultFS) BitFlips() uint64 { f.mu.Lock(); defer f.mu.Unlock(); return f.bitFlips }
+
+func (f *FaultFS) MkdirAll(dir string) error            { return f.inner.MkdirAll(dir) }
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *FaultFS) Rename(o, n string) error             { return f.inner.Rename(o, n) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) Create(name string) (wal.File, error) {
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (wal.File, int64, error) {
+	inner, size, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, size, nil
+}
+
+// faultFile applies the FS's schedules to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner wal.File
+	name  string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	fs.op++
+	op := fs.op
+	short := fs.ShortWriteEvery > 0 && op%fs.ShortWriteEvery == 0
+	flip := fs.FlipBitEvery > 0 && op%fs.FlipBitEvery == 0
+	if short {
+		fs.shortWrites++
+	}
+	if flip && !short {
+		fs.bitFlips++
+	}
+	seed := fs.Seed
+	fs.mu.Unlock()
+
+	if short {
+		n := len(p) / 2
+		wrote, err := f.inner.Write(p[:n])
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, fmt.Errorf("%w: %d of %d bytes", ErrInjectedWrite, wrote, len(p))
+	}
+	if flip && len(p) > 0 {
+		// Corrupt a deterministic bit, leaving the caller's buffer alone.
+		r := splitmix64(seed ^ op)
+		damaged := make([]byte, len(p))
+		copy(damaged, p)
+		damaged[r%uint64(len(p))] ^= 1 << ((r >> 32) % 8)
+		return f.inner.Write(damaged)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	fs.op++
+	op := fs.op
+	fail := fs.SyncErrEvery > 0 && op%fs.SyncErrEvery == 0
+	if fail {
+		fs.syncErrs++
+	}
+	fs.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

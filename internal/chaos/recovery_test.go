@@ -1,0 +1,470 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"biorank/internal/graph"
+	"biorank/internal/wal"
+)
+
+// This suite proves the WAL's crash-recovery contract by construction:
+// a seeded delta stream is logged durably, and then the log is damaged
+// every way a disk can damage it — truncated at every byte (crash mid
+// append), bit-flipped at every byte (decay), short writes and fsync
+// failures injected mid-workload. The invariant under every fault:
+//
+//	recovered state ∈ { state after delta prefix 0..N } ∪ { loud error }
+//
+// Never a state outside the prefix set, never a silent divergence. The
+// comparison is the full codec fingerprint (topology + probabilities +
+// version + epochs), which is strictly stronger than comparing scores:
+// ranking is a deterministic function of (graph, seed), so identical
+// fingerprints imply bit-identical scores.
+
+// recoveryBase builds the graph every crash test starts from.
+func recoveryBase() *graph.Graph {
+	g := graph.New(16, 16)
+	p1 := g.AddNode("P", "p1", 0.9)
+	p2 := g.AddNode("P", "p2", 0.8)
+	g1 := g.AddNode("G", "g1", 0.7)
+	g2 := g.AddNode("G", "g2", 0.6)
+	f1 := g.AddNode("F", "f1", 1.0)
+	g.AddEdge(p1, g1, "codes", 0.8)
+	g.AddEdge(p2, g2, "codes", 0.7)
+	g.AddEdge(g1, f1, "annotated", 0.6)
+	g.AddEdge(g2, f1, "annotated", 0.5)
+	return g
+}
+
+// recoveryDeltas generates a seeded stream of n mixed deltas: prob
+// edits, node adds, edge adds, occasional exact no-ops.
+func recoveryDeltas(n int, seed uint64) []graph.Delta {
+	r := seed
+	next := func(m uint64) uint64 {
+		r = splitmix64(r)
+		return r % m
+	}
+	out := make([]graph.Delta, n)
+	added := 0
+	for i := range out {
+		switch next(4) {
+		case 0: // probability edit on a base gene
+			out[i] = graph.Delta{Source: "amigo", Ops: []graph.Op{{
+				Kind: graph.OpSetNodeP,
+				Node: graph.NodeRef{Kind: "G", Label: fmt.Sprintf("g%d", 1+next(2))},
+				P:    float64(next(1000)) / 1000,
+			}}}
+		case 1: // add a gene and wire it to f1
+			added++
+			label := fmt.Sprintf("gx%d", added)
+			out[i] = graph.Delta{Source: "entrez", Ops: []graph.Op{
+				{Kind: graph.OpUpsertNode, Node: graph.NodeRef{Kind: "G", Label: label}, P: 0.5},
+				{Kind: graph.OpUpsertEdge, From: graph.NodeRef{Kind: "G", Label: label},
+					To: graph.NodeRef{Kind: "F", Label: "f1"}, Rel: "annotated", P: float64(1+next(999)) / 1000},
+			}}
+		case 2: // edge reweight
+			out[i] = graph.Delta{Source: "entrez", Ops: []graph.Op{{
+				Kind: graph.OpSetEdgeQ,
+				From: graph.NodeRef{Kind: "G", Label: "g1"},
+				To:   graph.NodeRef{Kind: "F", Label: "f1"},
+				Rel:  "annotated", P: float64(next(1000)) / 1000,
+			}}}
+		default: // upsert that may be an exact no-op
+			out[i] = graph.Delta{Source: "amigo", Ops: []graph.Op{{
+				Kind: graph.OpUpsertNode,
+				Node: graph.NodeRef{Kind: "P", Label: "p1"}, P: 0.9,
+			}}}
+		}
+	}
+	return out
+}
+
+// stateFingerprint renders a graph's complete durable state.
+func stateFingerprint(t testing.TB, g *graph.Graph) string {
+	t.Helper()
+	raw, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := json.Marshal(g.SourceEpochs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%s|%s|%d", raw, ep, g.Version())
+}
+
+// prefixStates returns fingerprint[i] = state after applying deltas[:i]
+// to base, for i in 0..len(deltas).
+func prefixStates(t testing.TB, base *graph.Graph, deltas []graph.Delta) []string {
+	t.Helper()
+	g := base.Clone()
+	states := []string{stateFingerprint(t, g)}
+	for _, d := range deltas {
+		if _, err := g.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, stateFingerprint(t, g))
+	}
+	return states
+}
+
+// writeDurableLog checkpoints base at seq 0 in dir and logs every delta
+// with the given options, returning the final live fingerprint.
+func writeDurableLog(t testing.TB, dir string, base *graph.Graph, deltas []graph.Delta, opts wal.Options) string {
+	t.Helper()
+	g := base.Clone()
+	store := graph.NewStore(g)
+	cp, err := wal.CaptureCheckpoint(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.WriteCheckpoint(opts.FS, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetDurability(l)
+	for _, d := range deltas {
+		if _, err := store.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var fp string
+	store.View(func(g *graph.Graph) { fp = stateFingerprint(t, g) })
+	return fp
+}
+
+// cloneDir copies every file of src into a fresh temp dir.
+func cloneDir(t testing.TB, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		buf, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestCrashEveryByte simulates a crash at every possible byte offset of
+// the log segment — the tail beyond the crash point is lost — and
+// requires recovery to land exactly on the newest delta prefix fully
+// contained in the surviving bytes.
+func TestCrashEveryByte(t *testing.T) {
+	const n = 6
+	base := recoveryBase()
+	deltas := recoveryDeltas(n, 42)
+	states := prefixStates(t, base, deltas)
+
+	master := t.TempDir()
+	writeDurableLog(t, master, base, deltas, wal.Options{Sync: wal.SyncAlways})
+	segName := ""
+	ents, err := os.ReadDir(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".log" {
+			segName = e.Name()
+		}
+	}
+	if segName == "" {
+		t.Fatal("no segment written")
+	}
+	full, err := os.ReadFile(filepath.Join(master, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the offsets at which each record ends, to know which prefix
+	// a given crash point must recover to.
+	wantAt := func(size int64) string {
+		dir := cloneDir(t, master)
+		if err := os.Truncate(filepath.Join(dir, segName), size); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := wal.Recover(dir, nil)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		return stateFingerprint(t, rec.Graph)
+	}
+
+	inSet := func(fp string) int {
+		for i, s := range states {
+			if s == fp {
+				return i
+			}
+		}
+		return -1
+	}
+
+	lastPrefix := 0
+	for size := int64(0); size <= int64(len(full)); size++ {
+		got := wantAt(size)
+		k := inSet(got)
+		if k < 0 {
+			t.Fatalf("crash at byte %d recovered to a state outside the prefix set", size)
+		}
+		if k < lastPrefix {
+			t.Fatalf("crash at byte %d recovered to prefix %d after byte %d reached %d (non-monotonic)",
+				size, k, size-1, lastPrefix)
+		}
+		lastPrefix = k
+	}
+	if lastPrefix != n {
+		t.Fatalf("full log recovered to prefix %d, want %d", lastPrefix, n)
+	}
+}
+
+// TestBitFlipEveryByte flips one bit at every byte of the segment and
+// requires recovery to either fail loudly or land inside the prefix set
+// — a flip may masquerade as a torn tail (length prefix of the final
+// record), which truncation repairs, but must never yield novel state.
+func TestBitFlipEveryByte(t *testing.T) {
+	const n = 5
+	base := recoveryBase()
+	deltas := recoveryDeltas(n, 7)
+	states := prefixStates(t, base, deltas)
+	inSet := func(fp string) bool {
+		for _, s := range states {
+			if s == fp {
+				return true
+			}
+		}
+		return false
+	}
+
+	master := t.TempDir()
+	writeDurableLog(t, master, base, deltas, wal.Options{Sync: wal.SyncAlways})
+	ents, err := os.ReadDir(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := ""
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".log" {
+			segName = e.Name()
+		}
+	}
+	full, err := os.ReadFile(filepath.Join(master, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var repaired, refused int
+	for off := 0; off < len(full); off++ {
+		bit := byte(1) << (splitmix64(uint64(off)^99) % 8)
+		dir := cloneDir(t, master)
+		path := filepath.Join(dir, segName)
+		buf := append([]byte(nil), full...)
+		buf[off] ^= bit
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := wal.Recover(dir, nil)
+		if err != nil {
+			var ce *wal.CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("flip at %d: non-diagnosable error %v", off, err)
+			}
+			refused++
+			continue
+		}
+		if !inSet(stateFingerprint(t, rec.Graph)) {
+			t.Fatalf("flip at %d: recovered to a state outside the prefix set — silent corruption", off)
+		}
+		repaired++
+	}
+	if refused == 0 {
+		t.Error("no flip was refused — CRC checking is not engaged")
+	}
+	t.Logf("bit flips: %d refused loudly, %d repaired/benign", refused, repaired)
+}
+
+// TestShortWriteRollback injects short writes mid-workload and requires
+// (a) the failed Apply to leave the store unchanged, and (b) recovery to
+// reproduce exactly the acknowledged deltas — a partial record must
+// never linger in the log.
+func TestShortWriteRollback(t *testing.T) {
+	base := recoveryBase()
+	deltas := recoveryDeltas(12, 13)
+
+	ffs := NewFaultFS(nil, 13)
+	// Under SyncAlways ops interleave write,sync,write,sync… (odd ops are
+	// writes after the checkpoint's own write+sync pair), so an odd
+	// period is needed to ever land on a write.
+	ffs.ShortWriteEvery = 5
+
+	dir := t.TempDir()
+	g := base.Clone()
+	store := graph.NewStore(g)
+	cp, err := wal.CaptureCheckpoint(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.WriteCheckpoint(ffs, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenLog(dir, wal.Options{Sync: wal.SyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetDurability(l)
+
+	ref := base.Clone() // tracks acknowledged deltas only
+	var failed int
+	for _, d := range deltas {
+		if _, err := store.Apply(d); err != nil {
+			if !errors.Is(err, ErrInjectedWrite) {
+				t.Fatalf("unexpected apply error: %v", err)
+			}
+			failed++
+			continue
+		}
+		if _, err := ref.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("schedule injected no short writes")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var live string
+	store.View(func(g *graph.Graph) { live = stateFingerprint(t, g) })
+	if want := stateFingerprint(t, ref); live != want {
+		t.Fatal("live store diverged from acknowledged reference")
+	}
+	rec, err := wal.Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateFingerprint(t, rec.Graph); got != live {
+		t.Fatalf("recovered state differs from acknowledged state after %d short writes", failed)
+	}
+	if rec.Stats.TornTailTruncated {
+		t.Error("rollback left a torn tail for recovery to clean up")
+	}
+}
+
+// TestSyncErrorPoisonsLog injects one fsync failure and requires the log
+// to refuse every subsequent append, while recovery still yields a state
+// that includes every acknowledged delta.
+func TestSyncErrorPoisonsLog(t *testing.T) {
+	base := recoveryBase()
+	deltas := recoveryDeltas(8, 5)
+
+	ffs := NewFaultFS(nil, 5)
+	ffs.SyncErrEvery = 10 // syncs land on even ops; op 10 is append 4's fsync
+
+	dir := t.TempDir()
+	g := base.Clone()
+	store := graph.NewStore(g)
+	cp, err := wal.CaptureCheckpoint(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.WriteCheckpoint(ffs, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenLog(dir, wal.Options{Sync: wal.SyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetDurability(l)
+
+	acked := 0
+	sawSyncErr := false
+	for _, d := range deltas {
+		_, err := store.Apply(d)
+		switch {
+		case err == nil:
+			if sawSyncErr {
+				t.Fatal("append succeeded after a sync failure — log not poisoned")
+			}
+			acked++
+		case errors.Is(err, ErrInjectedSync):
+			sawSyncErr = true
+		default:
+			if !sawSyncErr {
+				t.Fatalf("unexpected error before sync fault: %v", err)
+			}
+		}
+	}
+	if !sawSyncErr {
+		t.Fatal("schedule injected no sync failure")
+	}
+	l.Close()
+
+	// Recovery must deliver at least every acknowledged delta. (It may
+	// also include the sync-failed one: its bytes were written and this
+	// test never actually crashes the page cache.)
+	rec, err := wal.Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq < uint64(acked) {
+		t.Fatalf("recovered Seq %d < %d acknowledged deltas — acknowledged data lost", rec.Seq, acked)
+	}
+	states := prefixStates(t, base, deltas)
+	got := stateFingerprint(t, rec.Graph)
+	if got != states[rec.Seq] {
+		t.Fatalf("recovered state does not match prefix %d", rec.Seq)
+	}
+}
+
+// TestCheckpointCrashSafety interrupts checkpoint writing (short write
+// on the temp file) and requires the previous checkpoint to keep
+// working: temp-then-rename means a failed checkpoint is invisible.
+func TestCheckpointCrashSafety(t *testing.T) {
+	base := recoveryBase()
+	deltas := recoveryDeltas(4, 3)
+	states := prefixStates(t, base, deltas)
+
+	dir := t.TempDir()
+	writeDurableLog(t, dir, base, deltas, wal.Options{Sync: wal.SyncAlways})
+
+	// Attempt a newer checkpoint through a failing FS.
+	ffs := NewFaultFS(nil, 3)
+	ffs.ShortWriteEvery = 1 // every write fails
+	g := base.Clone()
+	for _, d := range deltas {
+		if _, err := g.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := wal.CaptureCheckpoint(g, uint64(len(deltas)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.WriteCheckpoint(ffs, dir, cp); err == nil {
+		t.Fatal("checkpoint through failing FS should error")
+	}
+	rec, err := wal.Recover(dir, nil)
+	if err != nil {
+		t.Fatalf("recovery after failed checkpoint: %v", err)
+	}
+	if got := stateFingerprint(t, rec.Graph); got != states[len(deltas)] {
+		t.Fatal("failed checkpoint attempt damaged recoverable state")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnDurabilityPass pins the shape of the durability pass: every
+// policy applies the full stream, the WAL-backed passes actually sync
+// according to their policy, and the render mentions each policy.
+func TestChurnDurabilityPass(t *testing.T) {
+	s := suite(t)
+	res, err := s.ChurnDurability(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Passes) != 4 {
+		t.Fatalf("%d passes, want 4 (none/never/interval/always)", len(res.Passes))
+	}
+	byPolicy := map[string]WALPassResult{}
+	for _, p := range res.Passes {
+		if p.Appends != 40 {
+			t.Fatalf("%s applied %d deltas, want 40", p.Policy, p.Appends)
+		}
+		if p.P50 > p.P99 || p.P99 > p.Max {
+			t.Fatalf("%s percentiles out of order: %v %v %v", p.Policy, p.P50, p.P99, p.Max)
+		}
+		byPolicy[p.Policy] = p
+	}
+	if byPolicy["always"].Syncs < 40 {
+		t.Fatalf("always synced %d times for 40 appends", byPolicy["always"].Syncs)
+	}
+	if byPolicy["none"].Syncs != 0 {
+		t.Fatalf("the no-WAL baseline reported %d syncs", byPolicy["none"].Syncs)
+	}
+	out := RenderChurnDurability(res)
+	for _, policy := range []string{"none", "never", "interval", "always"} {
+		if !strings.Contains(out, policy) {
+			t.Fatalf("render missing policy %q:\n%s", policy, out)
+		}
+	}
+}
+
+// TestRecoveryStudy pins the recovery study's invariants: replay counts
+// match the log lengths and a tip checkpoint never replays anything.
+func TestRecoveryStudy(t *testing.T) {
+	s := suite(t)
+	res, err := s.Recovery([]int{0, 30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	for i, want := range []int{0, 30, 60} {
+		row := res.Rows[i]
+		if row.LogLen != want || row.Replayed != want {
+			t.Fatalf("row %d: loglen %d replayed %d, want %d", i, row.LogLen, row.Replayed, want)
+		}
+	}
+	out := RenderRecovery(res)
+	if !strings.Contains(out, "Checkpointed") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}

@@ -135,15 +135,27 @@ func (g *Graph) findEdge(from, to NodeID, rel string) (EdgeID, bool) {
 // it. Probabilities outside [0,1] and dangling references are rejected
 // before anything is applied.
 func (g *Graph) ApplyDelta(d Delta) (DeltaResult, error) {
+	if err := g.ValidateDelta(d); err != nil {
+		return DeltaResult{}, err
+	}
+	return g.applyDeltaUnchecked(d), nil
+}
+
+// ValidateDelta runs ApplyDelta's validation phase without mutating the
+// graph: every op is checked against the current graph plus the nodes the
+// delta itself will add. A nil error guarantees that applying the delta
+// to this graph state cannot fail — which is what lets a write-ahead log
+// append the delta durably *before* the in-memory commit.
+func (g *Graph) ValidateDelta(d Delta) error {
 	if d.Source == "" {
-		return DeltaResult{}, errors.New("graph: delta has no source")
+		return errors.New("graph: delta has no source")
 	}
 	if len(d.Ops) == 0 {
-		return DeltaResult{}, ErrEmptyDelta
+		return ErrEmptyDelta
 	}
 
-	// Phase 1: validate every op against the current graph plus the nodes
-	// this delta itself will add. No mutation happens here.
+	// Validate every op against the current graph plus the nodes this
+	// delta itself will add. No mutation happens here.
 	pending := map[NodeRef]struct{}{}
 	resolve := func(r NodeRef) (NodeID, bool, error) {
 		if r.Kind == "" || r.Label == "" {
@@ -159,47 +171,51 @@ func (g *Graph) ApplyDelta(d Delta) (DeltaResult, error) {
 	}
 	for i, op := range d.Ops {
 		if op.P < 0 || op.P > 1 {
-			return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): probability %g outside [0,1]", i, op.Kind, op.P)
+			return fmt.Errorf("graph: delta op %d (%s): probability %g outside [0,1]", i, op.Kind, op.P)
 		}
 		switch op.Kind {
 		case OpUpsertNode:
 			if op.Node.Kind == "" || op.Node.Label == "" {
-				return DeltaResult{}, fmt.Errorf("graph: delta op %d: incomplete node ref %q", i, op.Node)
+				return fmt.Errorf("graph: delta op %d: incomplete node ref %q", i, op.Node)
 			}
 			pending[op.Node] = struct{}{}
 		case OpSetNodeP:
 			// A node added earlier in this same delta is a valid target:
 			// the upsert carries a probability and this op revises it.
 			if _, _, err := resolve(op.Node); err != nil {
-				return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): %w", i, op.Kind, err)
+				return fmt.Errorf("graph: delta op %d (%s): %w", i, op.Kind, err)
 			}
 		case OpUpsertEdge, OpSetEdgeQ:
 			if op.Rel == "" {
-				return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): missing relationship kind", i, op.Kind)
+				return fmt.Errorf("graph: delta op %d (%s): missing relationship kind", i, op.Kind)
 			}
 			fromID, fromExists, err := resolve(op.From)
 			if err != nil {
-				return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): from: %w", i, op.Kind, err)
+				return fmt.Errorf("graph: delta op %d (%s): from: %w", i, op.Kind, err)
 			}
 			toID, toExists, err := resolve(op.To)
 			if err != nil {
-				return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): to: %w", i, op.Kind, err)
+				return fmt.Errorf("graph: delta op %d (%s): to: %w", i, op.Kind, err)
 			}
 			if op.Kind == OpSetEdgeQ {
 				if !fromExists || !toExists {
-					return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): edge endpoints must pre-exist", i, op.Kind)
+					return fmt.Errorf("graph: delta op %d (%s): edge endpoints must pre-exist", i, op.Kind)
 				}
 				if _, ok := g.findEdge(fromID, toID, op.Rel); !ok {
-					return DeltaResult{}, fmt.Errorf("graph: delta op %d (%s): no %s edge %s -> %s", i, op.Kind, op.Rel, op.From, op.To)
+					return fmt.Errorf("graph: delta op %d (%s): no %s edge %s -> %s", i, op.Kind, op.Rel, op.From, op.To)
 				}
 			}
 		default:
-			return DeltaResult{}, fmt.Errorf("graph: delta op %d: unknown op kind %d", i, op.Kind)
+			return fmt.Errorf("graph: delta op %d: unknown op kind %d", i, op.Kind)
 		}
 	}
+	return nil
+}
 
-	// Phase 2: apply. Every reference is known to resolve, so the only
-	// remaining panics would be internal bugs.
+// applyDeltaUnchecked is the apply phase of ApplyDelta. The caller must
+// have validated d against the current graph state: every reference is
+// known to resolve, so the only remaining panics would be internal bugs.
+func (g *Graph) applyDeltaUnchecked(d Delta) DeltaResult {
 	res := DeltaResult{Source: d.Source}
 	affected := map[NodeID]struct{}{}
 	touch := func(id NodeID) { affected[id] = struct{}{} }
@@ -273,7 +289,7 @@ func (g *Graph) ApplyDelta(d Delta) (DeltaResult, error) {
 		res.Affected = append(res.Affected, id)
 	}
 	sortNodeIDs(res.Affected)
-	return res, nil
+	return res
 }
 
 func sortNodeIDs(ids []NodeID) {

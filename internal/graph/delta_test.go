@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -207,12 +208,12 @@ func TestStoreApplyViewAndLog(t *testing.T) {
 	if p != 0.33 {
 		t.Errorf("view sees p = %g", p)
 	}
-	since, ok := s.Since(v0)
-	if !ok || len(since) != 1 || since[0].Version != v0+1 {
-		t.Errorf("Since(%d) = %v, %v", v0, since, ok)
+	since, err := s.Since(v0)
+	if err != nil || len(since) != 1 || since[0].Version != v0+1 {
+		t.Errorf("Since(%d) = %v, %v", v0, since, err)
 	}
-	if _, ok := s.Since(s.Version()); !ok {
-		t.Error("Since(current) should be ok")
+	if _, err := s.Since(s.Version()); err != nil {
+		t.Errorf("Since(current) error: %v", err)
 	}
 	st := s.Stat()
 	if st.Deltas != 1 || st.ProbOnlyDeltas != 1 || st.ProbChanges != 1 || st.Epochs["amigo"] != 1 {
@@ -235,13 +236,18 @@ func TestStoreLogBound(t *testing.T) {
 	if st := s.Stat(); st.LogLen != 3 || st.Deltas != 6 {
 		t.Errorf("Stat() = %+v", st)
 	}
-	// The early range has been dropped: callers must rebuild.
-	if _, ok := s.Since(v0); ok {
-		t.Error("Since(v0) should report log overflow")
+	// The early range has been dropped: the typed error names the oldest
+	// delta still retained so callers can decide between rebuild and WAL
+	// catch-up.
+	var trunc *ErrLogTruncated
+	if _, err := s.Since(v0); !errors.As(err, &trunc) {
+		t.Errorf("Since(v0) = %v, want *ErrLogTruncated", err)
+	} else if trunc.Requested != v0 || trunc.OldestRetained != s.Version()-2 {
+		t.Errorf("ErrLogTruncated = %+v, want Requested=%d OldestRetained=%d", trunc, v0, s.Version()-2)
 	}
 	// The recent range is still served.
-	if since, ok := s.Since(s.Version() - 2); !ok || len(since) != 2 {
-		t.Errorf("Since(recent) = %v, %v", since, ok)
+	if since, err := s.Since(s.Version() - 2); err != nil || len(since) != 2 {
+		t.Errorf("Since(recent) = %v, %v", since, err)
 	}
 }
 

@@ -95,6 +95,17 @@ func (g *Graph) SourceEpochs() map[string]uint64 {
 	return out
 }
 
+// SetSourceEpochs overwrites the per-source epoch map (copying it in).
+// The graph codec does not serialize epochs — they are ingestion
+// bookkeeping, not content — so checkpoint recovery restores them
+// alongside SetVersion after decoding the graph.
+func (g *Graph) SetSourceEpochs(epochs map[string]uint64) {
+	g.sourceEpochs = make(map[string]uint64, len(epochs))
+	for k, v := range epochs {
+		g.sourceEpochs[k] = v
+	}
+}
+
 // New returns an empty graph with capacity hints for n nodes and m edges.
 func New(n, m int) *Graph {
 	return &Graph{

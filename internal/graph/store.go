@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -28,6 +29,34 @@ type Store struct {
 	nodesAdd  uint64
 	edgesAdd  uint64
 	probEdits uint64
+
+	durability Durability // optional write-ahead hook; nil means volatile
+}
+
+// Durability is the write-ahead hook a Store calls under its write lock,
+// after a delta validates but before it commits to the in-memory graph.
+// seq is the delta's sequence number (the store's lifetime applied-delta
+// count, 1-based and contiguous) and prevVersion the graph version the
+// delta will apply on top of. If Append returns an error the delta is
+// rejected and the in-memory graph is left untouched — a durability
+// failure must not let acknowledged state outrun the log.
+type Durability interface {
+	Append(seq, prevVersion uint64, d Delta) error
+}
+
+// ErrLogTruncated reports that Store.Since was asked for a range the
+// bounded in-memory log has already evicted. OldestRetained is the graph
+// version of the oldest delta still logged (0 when the log is empty);
+// callers needing older history must fall back to a full rebuild or to
+// the write-ahead log.
+type ErrLogTruncated struct {
+	Requested      uint64
+	OldestRetained uint64
+}
+
+func (e *ErrLogTruncated) Error() string {
+	return fmt.Sprintf("graph: mutation log truncated: version %d requested, oldest retained delta is at version %d",
+		e.Requested, e.OldestRetained)
 }
 
 // DefaultStoreLogCap bounds the mutation log. 1024 deltas is hours of
@@ -38,6 +67,22 @@ const DefaultStoreLogCap = 1024
 // must not mutate g afterwards except through the store.
 func NewStore(g *Graph) *Store {
 	return &Store{g: g, logCap: DefaultStoreLogCap}
+}
+
+// NewStoreAt is NewStore for a graph recovered from a checkpoint: the
+// store resumes its lifetime applied-delta counter at appliedDeltas so
+// sequence numbers handed to the durability hook stay contiguous with the
+// log that was replayed.
+func NewStoreAt(g *Graph, appliedDeltas uint64) *Store {
+	return &Store{g: g, logCap: DefaultStoreLogCap, deltas: appliedDeltas}
+}
+
+// SetDurability installs the write-ahead hook. Must be called before
+// concurrent use; a nil hook restores volatile operation.
+func (s *Store) SetDurability(d Durability) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durability = d
 }
 
 // SetLogCap adjusts the mutation-log bound (min 1). Only meaningful
@@ -53,14 +98,36 @@ func (s *Store) SetLogCap(n int) {
 }
 
 // Apply validates and applies one delta under the write lock, records it
-// in the mutation log, and returns what changed.
+// in the mutation log, and returns what changed. When a durability hook
+// is installed the delta is appended to it between validation and the
+// in-memory commit: a crash after the append replays the delta on
+// recovery (replay is idempotent), while an append failure rejects the
+// delta entirely — the in-memory state never runs ahead of the log.
 func (s *Store) Apply(d Delta) (DeltaResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.durability != nil {
+		if err := s.g.ValidateDelta(d); err != nil {
+			return DeltaResult{}, err
+		}
+		if err := s.durability.Append(s.deltas+1, s.g.Version(), d); err != nil {
+			return DeltaResult{}, fmt.Errorf("graph: durability append: %w", err)
+		}
+		res := s.g.applyDeltaUnchecked(d)
+		s.commitLocked(res)
+		return res, nil
+	}
 	res, err := s.g.ApplyDelta(d)
 	if err != nil {
 		return DeltaResult{}, err
 	}
+	s.commitLocked(res)
+	return res, nil
+}
+
+// commitLocked records an applied delta in the counters and the bounded
+// mutation log. Caller holds the write lock.
+func (s *Store) commitLocked(res DeltaResult) {
 	s.deltas++
 	if res.ProbOnly {
 		s.probOnly++
@@ -74,7 +141,6 @@ func (s *Store) Apply(d Delta) (DeltaResult, error) {
 		// grow without bound.
 		s.log = append([]DeltaResult(nil), s.log[len(s.log)-s.logCap:]...)
 	}
-	return res, nil
 }
 
 // View runs fn with the live graph under the read lock. fn must not
@@ -86,6 +152,16 @@ func (s *Store) View(fn func(*Graph)) {
 	fn(s.g)
 }
 
+// ViewAt runs fn with the live graph and the store's applied-delta
+// sequence number under the read lock, so a checkpoint can capture a
+// graph snapshot and the WAL position it corresponds to atomically. The
+// same retention rules as View apply.
+func (s *Store) ViewAt(fn func(g *Graph, seq uint64)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.g, s.deltas)
+}
+
 // Version returns the live graph's mutation counter.
 func (s *Store) Version() uint64 {
 	s.mu.RLock()
@@ -94,13 +170,15 @@ func (s *Store) Version() uint64 {
 }
 
 // Since returns the logged deltas applied after the given graph version,
-// oldest first. ok is false when the log has already dropped deltas from
-// that range, in which case the caller must assume everything changed.
-func (s *Store) Since(version uint64) (results []DeltaResult, ok bool) {
+// oldest first. When the bounded log has already evicted deltas from that
+// range it returns a *ErrLogTruncated carrying the oldest retained
+// version, and the caller must assume everything changed (full rebuild or
+// WAL catch-up).
+func (s *Store) Since(version uint64) ([]DeltaResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.g.Version() == version {
-		return nil, true
+		return nil, nil
 	}
 	// The log covers the requested range iff its oldest entry either is
 	// the first delta ever applied or starts at-or-before the requested
@@ -116,15 +194,20 @@ func (s *Store) Since(version uint64) (results []DeltaResult, ok bool) {
 			}
 		}
 		if !covered {
-			return nil, false
+			var oldest uint64
+			if len(s.log) > 0 {
+				oldest = s.log[0].Version
+			}
+			return nil, &ErrLogTruncated{Requested: version, OldestRetained: oldest}
 		}
 	}
+	var results []DeltaResult
 	for _, r := range s.log {
 		if r.Version > version {
 			results = append(results, r)
 		}
 	}
-	return results, true
+	return results, nil
 }
 
 // SourcesReaching returns, sorted, the labels of all nodes of the given

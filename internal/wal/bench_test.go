@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"biorank/internal/graph"
+)
+
+// benchAppend measures one WAL append per iteration under the given
+// fsync policy: the cost a durable store adds to every Apply. The delta
+// is a realistic single-record probability revision.
+func benchAppend(b *testing.B, policy SyncPolicy) {
+	dir := b.TempDir()
+	g := graph.New(4, 4)
+	g.AddNode("P", "p1", 0.9)
+	g.AddNode("G", "g1", 0.7)
+	cp, err := CaptureCheckpoint(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(nil, dir, cp); err != nil {
+		b.Fatal(err)
+	}
+	l, err := OpenLog(dir, Options{Sync: policy, SyncEvery: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	d := graph.Delta{Source: "bench", Ops: []graph.Op{
+		{Kind: graph.OpSetNodeP, Node: graph.NodeRef{Kind: "G", Label: "g1"}, P: 0.5},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(uint64(i+1), uint64(i), d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendNever(b *testing.B)    { benchAppend(b, SyncNever) }
+func BenchmarkWALAppendInterval(b *testing.B) { benchAppend(b, SyncInterval) }
+func BenchmarkWALAppendAlways(b *testing.B)   { benchAppend(b, SyncAlways) }

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"biorank/internal/graph"
+)
+
+// Checkpoint is a full snapshot of the live store at one WAL position:
+// the graph (via its codec), plus the version and per-source epochs the
+// codec deliberately does not serialize, plus the applied-delta sequence
+// number the snapshot corresponds to. Recovery loads the newest valid
+// checkpoint and replays WAL records with Seq > Checkpoint.Seq.
+type Checkpoint struct {
+	Seq     uint64            `json:"seq"`
+	Version uint64            `json:"version"`
+	Epochs  map[string]uint64 `json:"epochs,omitempty"`
+	Graph   json.RawMessage   `json:"graph"`
+}
+
+// CaptureCheckpoint snapshots g at sequence number seq. The caller must
+// hold whatever lock makes g quiescent (graph.Store.ViewAt does).
+func CaptureCheckpoint(g *graph.Graph, seq uint64) (*Checkpoint, error) {
+	raw, err := json.Marshal(g)
+	if err != nil {
+		return nil, fmt.Errorf("wal: marshal graph for checkpoint: %w", err)
+	}
+	return &Checkpoint{
+		Seq:     seq,
+		Version: g.Version(),
+		Epochs:  g.SourceEpochs(),
+		Graph:   raw,
+	}, nil
+}
+
+// WriteCheckpoint persists cp into dir atomically: the encoded snapshot
+// plus a 4-byte CRC32-C trailer is written to a temp file, synced, then
+// renamed into place — a crash mid-write leaves at most a stray temp
+// file, never a half-written checkpoint under the real name. Older
+// checkpoints beyond the newest two are deleted. Returns the checkpoint
+// filename.
+func WriteCheckpoint(fsys FS, dir string, cp *Checkpoint) (string, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return "", fmt.Errorf("wal: create dir: %w", err)
+	}
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return "", fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	buf := make([]byte, len(payload)+4)
+	copy(buf, payload)
+	binary.LittleEndian.PutUint32(buf[len(payload):], crc32.Checksum(payload, castagnoli))
+
+	name := checkpointName(cp.Seq)
+	tmp := join(dir, name+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("wal: create checkpoint temp: %w", err)
+	}
+	if n, err := f.Write(buf); err != nil || n != len(buf) {
+		f.Close()
+		fsys.Remove(tmp)
+		if err == nil {
+			err = fmt.Errorf("short write: %d of %d bytes", n, len(buf))
+		}
+		return "", fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := fsys.Rename(tmp, join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return "", fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	pruneCheckpoints(fsys, dir, 2)
+	return name, nil
+}
+
+// pruneCheckpoints removes all but the newest keep checkpoints. Errors
+// are ignored: pruning is best-effort hygiene, and a stale extra
+// checkpoint is harmless.
+func pruneCheckpoints(fsys FS, dir string, keep int) {
+	names, _, err := listSeqNames(fsys, dir, checkpointPrefix, checkpointSuffix)
+	if err != nil {
+		return
+	}
+	for i := 0; i < len(names)-keep; i++ {
+		fsys.Remove(join(dir, names[i]))
+	}
+}
+
+// loadCheckpoint reads and verifies one checkpoint file.
+func loadCheckpoint(fsys FS, path string) (*Checkpoint, error) {
+	buf, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 5 {
+		return nil, fmt.Errorf("wal: checkpoint %s: too short (%d bytes)", path, len(buf))
+	}
+	payload := buf[:len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("wal: checkpoint %s: CRC mismatch (got %08x, want %08x)", path, got, want)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint %s: decode: %w", path, err)
+	}
+	return &cp, nil
+}
+
+// newestCheckpoint loads the newest checkpoint whose CRC verifies,
+// falling back to older ones when the newest is damaged (a bit flip
+// after publication; temp-then-rename already excludes partial writes).
+// Returns (nil, "", nil) when dir holds no checkpoints at all; an error
+// when checkpoints exist but none verifies.
+func newestCheckpoint(fsys FS, dir string) (*Checkpoint, string, error) {
+	names, _, err := listSeqNames(fsys, dir, checkpointPrefix, checkpointSuffix)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(names) == 0 {
+		return nil, "", nil
+	}
+	var lastErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		cp, err := loadCheckpoint(fsys, join(dir, names[i]))
+		if err == nil {
+			return cp, names[i], nil
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("wal: no valid checkpoint among %d candidates: %w", len(names), lastErr)
+}

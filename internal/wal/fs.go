@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the slice of *os.File the log needs. The indirection exists so
+// the chaos package can wrap real files with deterministic fault
+// injection (short writes, fsync errors) without patching the WAL.
+type File interface {
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the WAL and checkpoint writers run on.
+// Every operation takes full paths; implementations must be safe for use
+// from a single goroutine at a time (the log serializes access itself).
+type FS interface {
+	MkdirAll(dir string) error
+	// Create truncates-or-creates name for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent, and
+	// reports the size the next write will land at.
+	OpenAppend(name string) (File, int64, error)
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the bare names (not paths) of dir's entries, sorted.
+	// A missing directory returns an empty list, not an error.
+	ReadDir(dir string) ([]string, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+}
+
+// osFS is the passthrough production implementation.
+type osFS struct{}
+
+// OSFS is the real-filesystem implementation of FS.
+var OSFS FS = osFS{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) OpenAppend(name string) (File, int64, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+
+// join builds a path inside the WAL directory.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"biorank/internal/graph"
+)
+
+// CorruptionError reports an unrecoverable defect in the log or a
+// checkpoint: a CRC mismatch, an undecodable payload, a sequence gap, or
+// a record whose stamped pre-version diverges from the recovering graph.
+// Recovery refuses to proceed past one — serving silently wrong state is
+// the one failure mode durability must never have.
+type CorruptionError struct {
+	File   string // bare filename
+	Offset int64  // byte offset of the bad record, -1 when n/a
+	Reason string
+}
+
+func (e *CorruptionError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("wal: corrupt record in %s at offset %d: %s", e.File, e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("wal: corrupt %s: %s", e.File, e.Reason)
+}
+
+// RecoveryStats summarizes what recovery did, for /stats and logs.
+type RecoveryStats struct {
+	Checkpoint        string `json:"checkpoint"` // filename, "" when fresh
+	CheckpointSeq     uint64 `json:"checkpoint_seq"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	Replayed          int    `json:"replayed"` // records applied from the log
+	Skipped           int    `json:"skipped"`  // records at or below the checkpoint
+	SegmentsScanned   int    `json:"segments_scanned"`
+	TornTailTruncated bool   `json:"torn_tail_truncated"`
+	DurationMS        int64  `json:"duration_ms"`
+}
+
+// Recovered is the outcome of Recover: the rebuilt graph and the
+// applied-delta sequence number to resume the store at
+// (graph.NewStoreAt(g, Seq)).
+type Recovered struct {
+	Graph *graph.Graph
+	Seq   uint64
+	Stats RecoveryStats
+}
+
+// Recover rebuilds the live state from dir: it loads the newest valid
+// checkpoint, replays every WAL record past it (verifying CRC, sequence
+// contiguity and version continuity), and truncates a torn tail record
+// in the final segment. It returns (nil, nil) when dir holds no state at
+// all — the caller bootstraps fresh and writes an initial checkpoint.
+//
+// A torn tail — a record whose header or payload extends past the end of
+// the last segment — is the expected residue of a crash mid-append and
+// is repaired by truncation. Anything else (a CRC mismatch anywhere, an
+// incomplete record followed by another segment, a gap in sequence
+// numbers, a version mismatch) is corruption and fails loudly with a
+// *CorruptionError. One ambiguity is inherent to the format: a bit flip
+// in the final record's length prefix can make it look torn; recovery
+// resolves the ambiguity in favor of truncation, which is safe — the
+// record was never acknowledged as recovered — but means a corrupted
+// tail length is repaired rather than reported.
+func Recover(dir string, fsys FS) (*Recovered, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	start := time.Now()
+	cp, cpName, err := newestCheckpoint(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	segNames, segSeqs, err := listSeqNames(fsys, dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if cp == nil {
+		if len(segNames) > 0 {
+			return nil, &CorruptionError{File: segNames[0], Offset: -1,
+				Reason: "log segments exist but no checkpoint does; cannot establish a base state"}
+		}
+		return nil, nil // fresh directory
+	}
+
+	g := graph.New(0, 0)
+	if err := json.Unmarshal(cp.Graph, g); err != nil {
+		return nil, &CorruptionError{File: cpName, Offset: -1, Reason: "graph decode: " + err.Error()}
+	}
+	// The codec rebuilds the graph through AddNode/AddEdge, leaving the
+	// version at the build count and the epochs empty; restore both from
+	// the checkpoint's sidecar fields.
+	g.SetVersion(cp.Version)
+	g.SetSourceEpochs(cp.Epochs)
+
+	stats := RecoveryStats{Checkpoint: cpName, CheckpointSeq: cp.Seq, CheckpointVersion: cp.Version}
+
+	// Skip segments fully covered by the checkpoint: segment i spans
+	// [segSeqs[i], segSeqs[i+1]-1], so it matters iff the next segment
+	// starts past cp.Seq (or it is the last).
+	first := 0
+	for first < len(segNames)-1 && segSeqs[first+1] <= cp.Seq+1 {
+		first++
+	}
+
+	lastSeq := cp.Seq
+	expect := uint64(0) // next expected seq; 0 = not yet anchored
+	for i := first; i < len(segNames); i++ {
+		name := segNames[i]
+		isLast := i == len(segNames)-1
+		data, err := fsys.ReadFile(join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		stats.SegmentsScanned++
+		off := int64(0)
+		for off < int64(len(data)) {
+			rest := int64(len(data)) - off
+			torn := func(reason string) error {
+				if !isLast {
+					return &CorruptionError{File: name, Offset: off,
+						Reason: reason + " in a non-final segment"}
+				}
+				if err := fsys.Truncate(join(dir, name), off); err != nil {
+					return fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
+				}
+				stats.TornTailTruncated = true
+				return nil
+			}
+			if rest < recordHeaderSize {
+				if err := torn("incomplete record header"); err != nil {
+					return nil, err
+				}
+				off = int64(len(data)) // stop scanning this (last) segment
+				break
+			}
+			n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+			if n > maxRecordBytes {
+				return nil, &CorruptionError{File: name, Offset: off,
+					Reason: fmt.Sprintf("record length %d exceeds limit", n)}
+			}
+			if rest < recordHeaderSize+n {
+				if err := torn("record payload extends past end of segment"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			payload := data[off+recordHeaderSize : off+recordHeaderSize+n]
+			want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+			if got := crc32.Checksum(payload, castagnoli); got != want {
+				return nil, &CorruptionError{File: name, Offset: off,
+					Reason: fmt.Sprintf("CRC mismatch (got %08x, want %08x)", got, want)}
+			}
+			var rec Record
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return nil, &CorruptionError{File: name, Offset: off,
+					Reason: "record decode: " + err.Error()}
+			}
+			if expect != 0 && rec.Seq != expect {
+				return nil, &CorruptionError{File: name, Offset: off,
+					Reason: fmt.Sprintf("sequence gap: record %d where %d expected", rec.Seq, expect)}
+			}
+			expect = rec.Seq + 1
+			if rec.Seq <= cp.Seq {
+				// Already folded into the checkpoint; replay is
+				// idempotent by skipping, not by re-applying.
+				stats.Skipped++
+			} else {
+				if rec.Seq != lastSeq+1 {
+					return nil, &CorruptionError{File: name, Offset: off,
+						Reason: fmt.Sprintf("sequence gap after checkpoint: record %d, want %d", rec.Seq, lastSeq+1)}
+				}
+				if rec.Prev != g.Version() {
+					return nil, &CorruptionError{File: name, Offset: off,
+						Reason: fmt.Sprintf("version divergence: record %d applies on version %d, graph is at %d",
+							rec.Seq, rec.Prev, g.Version())}
+				}
+				if _, err := g.ApplyDelta(rec.Delta); err != nil {
+					return nil, &CorruptionError{File: name, Offset: off,
+						Reason: fmt.Sprintf("record %d does not apply: %v", rec.Seq, err)}
+				}
+				lastSeq = rec.Seq
+				stats.Replayed++
+			}
+			off += recordHeaderSize + n
+		}
+	}
+	stats.DurationMS = time.Since(start).Milliseconds()
+	return &Recovered{Graph: g, Seq: lastSeq, Stats: stats}, nil
+}

@@ -1,0 +1,445 @@
+// Package wal makes the live graph store durable: every delta is
+// appended to a write-ahead log before it commits in memory, periodic
+// checkpoints snapshot the full graph, and recovery loads the newest
+// valid checkpoint and replays the log suffix. The design goal is the
+// classic durability contract: an acknowledged write survives a crash
+// (under fsync policy "always"), and a corrupted log is either repaired
+// (torn tail truncation) or refused loudly — never silently wrong.
+//
+// On-disk layout, all inside one directory:
+//
+//	wal-%020d.log        log segments, named by the first sequence
+//	                     number they contain; rotated at a size bound
+//	checkpoint-%020d.ckpt  graph snapshots, named by the sequence number
+//	                     they capture; written temp-then-rename
+//
+// Each log record is [4B little-endian payload length][4B little-endian
+// CRC32-C of payload][payload], where the payload is the JSON encoding
+// of Record: the delta plus its sequence number and the graph version it
+// applies on top of. Sequence numbers are the store's lifetime
+// applied-delta count — contiguous and monotonic — which is the replay
+// cursor; graph versions cannot serve that role because a no-op delta
+// advances its source epoch without bumping the version.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"biorank/internal/graph"
+)
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged delta is on
+	// disk. The strongest guarantee and the slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs opportunistically during Append once SyncEvery
+	// has elapsed since the last sync. A crash can lose up to one
+	// interval of acknowledged-but-unsynced deltas.
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache (and Close). A crash
+	// can lose everything since the last rotation or checkpoint.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps the flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period; zero means 100ms.
+	SyncEvery time.Duration
+	// FS overrides the filesystem (fault injection); nil means OSFS.
+	FS FS
+}
+
+const (
+	segmentPrefix    = "wal-"
+	segmentSuffix    = ".log"
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".ckpt"
+
+	recordHeaderSize = 8
+
+	// DefaultSegmentBytes is the rotation threshold when Options leaves
+	// SegmentBytes zero.
+	DefaultSegmentBytes int64 = 4 << 20
+
+	// maxRecordBytes bounds a single record's payload. A length prefix
+	// above this is treated as corruption (or a torn write) rather than
+	// an instruction to allocate gigabytes.
+	maxRecordBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one logged delta: the payload of a WAL record.
+type Record struct {
+	// Seq is the store's applied-delta count for this delta: 1 for the
+	// first delta ever applied, contiguous afterwards.
+	Seq uint64 `json:"seq"`
+	// Prev is the graph version the delta applies on top of. Replay
+	// verifies it against the recovering graph before applying, catching
+	// divergence between log and checkpoint.
+	Prev  uint64      `json:"prev"`
+	Delta graph.Delta `json:"delta"`
+}
+
+// segmentName renders the segment filename for a first sequence number.
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segmentPrefix, firstSeq, segmentSuffix)
+}
+
+// checkpointName renders the checkpoint filename for a sequence number.
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("%s%020d%s", checkpointPrefix, seq, checkpointSuffix)
+}
+
+// parseSeqName extracts the sequence number from a segment or checkpoint
+// filename with the given prefix/suffix, reporting whether name matches.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSeqNames returns the (name, seq) pairs in dir matching
+// prefix/suffix, sorted by seq ascending.
+func listSeqNames(fsys FS, dir, prefix, suffix string) ([]string, []uint64, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []string
+	var seqs []uint64
+	for _, n := range names {
+		if seq, ok := parseSeqName(n, prefix, suffix); ok {
+			out = append(out, n)
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Sort(&seqSort{out, seqs})
+	return out, seqs, nil
+}
+
+type seqSort struct {
+	names []string
+	seqs  []uint64
+}
+
+func (s *seqSort) Len() int           { return len(s.names) }
+func (s *seqSort) Less(i, j int) bool { return s.seqs[i] < s.seqs[j] }
+func (s *seqSort) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.seqs[i], s.seqs[j] = s.seqs[j], s.seqs[i]
+}
+
+// encodeRecord renders a record as [len][crc][payload].
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record %d: %w", rec.Seq, err)
+	}
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[recordHeaderSize:], payload)
+	return buf, nil
+}
+
+// Log is an append-only segmented delta log. It implements
+// graph.Durability, so a graph.Store with a Log installed appends every
+// delta before committing it. All methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	fs   FS
+	dir  string
+	opts Options
+
+	seg      File   // active segment, nil until the first append
+	segName  string // bare filename of the active segment
+	segSize  int64
+	lastSeq  uint64
+	lastSync time.Time
+
+	appends   uint64
+	syncs     uint64
+	rotations uint64
+	broken    error // set when the log can no longer guarantee integrity
+}
+
+// OpenLog opens (or creates) the log in dir for appending. Recovery must
+// run first on a dirty directory: it repairs a torn tail, and the caller
+// resumes sequence numbers from the recovered position. If segments
+// exist, appending continues in the newest one.
+func OpenLog(dir string, opts Options) (*Log, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{fs: opts.FS, dir: dir, opts: opts, lastSync: time.Now()}
+	names, _, err := listSeqNames(opts.FS, dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	if len(names) > 0 {
+		name := names[len(names)-1]
+		f, size, err := opts.FS.OpenAppend(join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment %s: %w", name, err)
+		}
+		l.seg, l.segName, l.segSize = f, name, size
+	}
+	return l, nil
+}
+
+// Append logs one delta. seq must be the store's next applied-delta
+// count and prev the graph version the delta applies on top of — exactly
+// the arguments graph.Store passes its Durability hook. An error means
+// the delta was NOT durably logged and must not be committed.
+func (l *Log) Append(seq, prev uint64, d graph.Delta) error {
+	rec, err := encodeRecord(Record{Seq: seq, Prev: prev, Delta: d})
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return fmt.Errorf("wal: log disabled by earlier failure: %w", l.broken)
+	}
+	if l.lastSeq != 0 && seq != l.lastSeq+1 {
+		return fmt.Errorf("wal: non-contiguous append: seq %d after %d", seq, l.lastSeq)
+	}
+	if l.seg == nil || l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(seq); err != nil {
+			return err
+		}
+	}
+	n, err := l.seg.Write(rec)
+	if err != nil || n != len(rec) {
+		// A partial record mid-segment would be indistinguishable from
+		// corruption once more records follow it, so roll the segment
+		// back to the pre-append offset before reporting failure.
+		if rb := l.rollbackLocked(); rb != nil {
+			l.broken = fmt.Errorf("append failed (%v) and rollback failed (%v)", err, rb)
+		}
+		if err == nil {
+			err = fmt.Errorf("short write: %d of %d bytes", n, len(rec))
+		}
+		return fmt.Errorf("wal: append seq %d: %w", seq, err)
+	}
+	l.segSize += int64(n)
+	l.lastSeq = seq
+	l.appends++
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return fmt.Errorf("wal: append seq %d: %w", seq, err)
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return fmt.Errorf("wal: append seq %d: %w", seq, err)
+			}
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and starts a new one whose name
+// carries firstSeq.
+func (l *Log) rotateLocked(firstSeq uint64) error {
+	if l.seg != nil {
+		if l.opts.Sync != SyncNever {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: close segment %s: %w", l.segName, err)
+		}
+		l.rotations++
+	}
+	name := segmentName(firstSeq)
+	f, err := l.fs.Create(join(l.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	l.seg, l.segName, l.segSize = f, name, 0
+	return nil
+}
+
+// rollbackLocked truncates the active segment back to the last good
+// offset after a failed write, reopening it for append.
+func (l *Log) rollbackLocked() error {
+	path := join(l.dir, l.segName)
+	if err := l.seg.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Truncate(path, l.segSize); err != nil {
+		return err
+	}
+	f, size, err := l.fs.OpenAppend(path)
+	if err != nil {
+		return err
+	}
+	if size != l.segSize {
+		f.Close()
+		return fmt.Errorf("wal: rollback of %s left size %d, want %d", l.segName, size, l.segSize)
+	}
+	l.seg = f
+	return nil
+}
+
+// syncLocked fsyncs the active segment. A sync failure poisons the log:
+// the kernel may have dropped the dirty pages, so later appends could
+// silently follow lost bytes.
+func (l *Log) syncLocked() error {
+	if l.seg == nil {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.broken = fmt.Errorf("fsync %s: %w", l.segName, err)
+		return l.broken
+	}
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	return l.syncLocked()
+}
+
+// Close syncs and closes the active segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return nil
+	}
+	var firstErr error
+	if l.broken == nil {
+		firstErr = l.syncLocked()
+	}
+	if err := l.seg.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	l.seg = nil
+	return firstErr
+}
+
+// PruneBefore deletes segments every record of which has seq < keepSeq —
+// i.e. segments fully covered by a checkpoint at keepSeq-1 or later. The
+// active segment is never deleted.
+func (l *Log) PruneBefore(keepSeq uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names, seqs, err := listSeqNames(l.fs, l.dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < len(names)-1; i++ {
+		// Segment i spans [seqs[i], seqs[i+1]-1]; fully covered iff the
+		// next segment starts at or below keepSeq.
+		if seqs[i+1] > keepSeq {
+			break
+		}
+		if names[i] == l.segName {
+			break
+		}
+		if err := l.fs.Remove(join(l.dir, names[i])); err != nil {
+			return removed, fmt.Errorf("wal: prune %s: %w", names[i], err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// LogStats is an observability snapshot of the log.
+type LogStats struct {
+	Dir          string `json:"dir"`
+	Policy       string `json:"fsync"`
+	LastSeq      uint64 `json:"last_seq"`
+	Appends      uint64 `json:"appends"`
+	Syncs        uint64 `json:"syncs"`
+	Rotations    uint64 `json:"rotations"`
+	SegmentBytes int64  `json:"segment_bytes"`
+	Broken       bool   `json:"broken"`
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{
+		Dir:          l.dir,
+		Policy:       l.opts.Sync.String(),
+		LastSeq:      l.lastSeq,
+		Appends:      l.appends,
+		Syncs:        l.syncs,
+		Rotations:    l.rotations,
+		SegmentBytes: l.segSize,
+		Broken:       l.broken != nil,
+	}
+}

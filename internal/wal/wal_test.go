@@ -1,0 +1,431 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"biorank/internal/graph"
+)
+
+// testBase builds the base graph every test checkpoints first:
+//
+//	P/p1 ──▶ G/g1 ──▶ F/f1
+func testBase(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(8, 8)
+	p1 := g.AddNode("P", "p1", 0.9)
+	g1 := g.AddNode("G", "g1", 0.7)
+	f1 := g.AddNode("F", "f1", 1.0)
+	g.AddEdge(p1, g1, "codes", 0.8)
+	g.AddEdge(g1, f1, "annotated", 0.6)
+	return g
+}
+
+// testDeltas is a mixed batch stream: probability edits, node adds, edge
+// adds, and one all-no-op delta (epoch bump without version bump).
+func testDeltas() []graph.Delta {
+	return []graph.Delta{
+		{Source: "amigo", Ops: []graph.Op{
+			{Kind: graph.OpSetNodeP, Node: graph.NodeRef{Kind: "G", Label: "g1"}, P: 0.55},
+		}},
+		{Source: "entrez", Ops: []graph.Op{
+			{Kind: graph.OpUpsertNode, Node: graph.NodeRef{Kind: "G", Label: "g2"}, P: 0.4},
+			{Kind: graph.OpUpsertEdge, From: graph.NodeRef{Kind: "P", Label: "p1"}, To: graph.NodeRef{Kind: "G", Label: "g2"}, Rel: "codes", P: 0.3},
+		}},
+		{Source: "amigo", Ops: []graph.Op{
+			{Kind: graph.OpSetNodeP, Node: graph.NodeRef{Kind: "G", Label: "g1"}, P: 0.55}, // no-op
+		}},
+		{Source: "entrez", Ops: []graph.Op{
+			{Kind: graph.OpSetEdgeQ, From: graph.NodeRef{Kind: "P", Label: "p1"}, To: graph.NodeRef{Kind: "G", Label: "g2"}, Rel: "codes", P: 0.9},
+		}},
+	}
+}
+
+// bootstrap checkpoints g at seq 0 in dir and opens a log, mirroring the
+// facade's fresh-directory path.
+func bootstrap(t *testing.T, dir string, g *graph.Graph, opts Options) *Log {
+	t.Helper()
+	cp, err := CaptureCheckpoint(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(opts.FS, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// graphFingerprint renders a graph's full state for bit-exact comparison:
+// codec JSON (topology + probabilities) plus the sidecar version/epochs.
+func graphFingerprint(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	raw, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := json.Marshal(g.SourceEpochs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%s|%s|%d", raw, ep, g.Version())
+}
+
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	g := testBase(t)
+	store := graph.NewStore(g)
+	l := bootstrap(t, dir, g, Options{Sync: SyncAlways})
+	store.SetDurability(l)
+	for _, d := range testDeltas() {
+		if _, err := store.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	store.View(func(g *graph.Graph) { want = graphFingerprint(t, g) })
+
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("Recover returned fresh for a populated dir")
+	}
+	if got := graphFingerprint(t, rec.Graph); got != want {
+		t.Errorf("recovered graph differs:\n got %s\nwant %s", got, want)
+	}
+	if rec.Seq != 4 {
+		t.Errorf("recovered Seq = %d, want 4", rec.Seq)
+	}
+	if rec.Stats.Replayed != 4 || rec.Stats.TornTailTruncated {
+		t.Errorf("stats = %+v", rec.Stats)
+	}
+	// Replay is idempotent: recovering again lands on the same state.
+	rec2, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := graphFingerprint(t, rec2.Graph); got != want {
+		t.Errorf("second recovery diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestRecoverFreshDir(t *testing.T) {
+	rec, err := Recover(t.TempDir(), nil)
+	if err != nil || rec != nil {
+		t.Fatalf("Recover(empty) = %v, %v; want nil, nil", rec, err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int64{1, 5, 9} { // inside trailer header, inside payload
+		dir := t.TempDir()
+		g := testBase(t)
+		store := graph.NewStore(g)
+		l := bootstrap(t, dir, g, Options{Sync: SyncAlways})
+		store.SetDurability(l)
+		deltas := testDeltas()
+		var sizes []int64
+		for _, d := range deltas {
+			if _, err := store.Apply(d); err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, l.Stats().SegmentBytes)
+		}
+		l.Close()
+		// Tear the final record: cut bytes so the remaining tail is
+		// shorter than the record but longer than the previous offset.
+		seg := filepath.Join(dir, segmentName(1))
+		if err := os.Truncate(seg, sizes[len(sizes)-2]+cut); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(dir, nil)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !rec.Stats.TornTailTruncated || rec.Stats.Replayed != len(deltas)-1 {
+			t.Errorf("cut %d: stats = %+v", cut, rec.Stats)
+		}
+		if rec.Seq != uint64(len(deltas)-1) {
+			t.Errorf("cut %d: Seq = %d", cut, rec.Seq)
+		}
+		// The truncated log accepts appends again at the rolled-back seq.
+		l2, err := OpenLog(dir, Options{Sync: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := graph.NewStoreAt(rec.Graph, rec.Seq)
+		st.SetDurability(l2)
+		if _, err := st.Apply(deltas[len(deltas)-1]); err != nil {
+			t.Fatalf("cut %d: re-append after truncation: %v", cut, err)
+		}
+		l2.Close()
+		if rec2, err := Recover(dir, nil); err != nil || rec2.Seq != uint64(len(deltas)) {
+			t.Fatalf("cut %d: recovery after re-append: %+v, %v", cut, rec2, err)
+		}
+	}
+}
+
+func TestMidLogCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	g := testBase(t)
+	store := graph.NewStore(g)
+	l := bootstrap(t, dir, g, Options{Sync: SyncAlways})
+	store.SetDurability(l)
+	var firstLen int64
+	for i, d := range testDeltas() {
+		if _, err := store.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstLen = l.Stats().SegmentBytes
+		}
+	}
+	l.Close()
+	// Flip one payload bit in the FIRST record — mid-log, not the tail.
+	seg := filepath.Join(dir, segmentName(1))
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[firstLen-1] ^= 0x10
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Recover(dir, nil)
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Recover = %v, want *CorruptionError", err)
+	}
+	if ce.File != segmentName(1) {
+		t.Errorf("CorruptionError.File = %q", ce.File)
+	}
+}
+
+func TestCheckpointFallbackAndRefusal(t *testing.T) {
+	dir := t.TempDir()
+	g := testBase(t)
+	store := graph.NewStore(g)
+	l := bootstrap(t, dir, g, Options{Sync: SyncAlways})
+	store.SetDurability(l)
+	for _, d := range testDeltas()[:2] {
+		if _, err := store.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second checkpoint at seq 2.
+	var cp *Checkpoint
+	store.ViewAt(func(g *graph.Graph, seq uint64) {
+		var err error
+		cp, err = CaptureCheckpoint(g, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := WriteCheckpoint(nil, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range testDeltas()[2:] {
+		if _, err := store.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	var want string
+	store.View(func(g *graph.Graph) { want = graphFingerprint(t, g) })
+
+	// Corrupt the NEWEST checkpoint: recovery falls back to the seq-0
+	// one and replays the whole log instead.
+	newest := filepath.Join(dir, checkpointName(2))
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x01
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stats.CheckpointSeq != 0 || rec.Stats.Replayed != 4 {
+		t.Errorf("fallback stats = %+v", rec.Stats)
+	}
+	if got := graphFingerprint(t, rec.Graph); got != want {
+		t.Errorf("fallback recovery diverged")
+	}
+
+	// Corrupt the older checkpoint too: now recovery must refuse.
+	older := filepath.Join(dir, checkpointName(0))
+	buf, err = os.ReadFile(older)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/3] ^= 0x01
+	if err := os.WriteFile(older, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, nil); err == nil {
+		t.Fatal("Recover succeeded with every checkpoint corrupt")
+	}
+}
+
+func TestSegmentsWithoutCheckpointRefused(t *testing.T) {
+	dir := t.TempDir()
+	g := testBase(t)
+	store := graph.NewStore(g)
+	l := bootstrap(t, dir, g, Options{Sync: SyncAlways})
+	store.SetDurability(l)
+	if _, err := store.Apply(testDeltas()[0]); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	for _, name := range []string{checkpointName(0)} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ce *CorruptionError
+	if _, err := Recover(dir, nil); !errors.As(err, &ce) {
+		t.Fatalf("Recover = %v, want *CorruptionError", err)
+	}
+}
+
+func TestRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	g := testBase(t)
+	store := graph.NewStore(g)
+	// Tiny segments: every record rotates.
+	l := bootstrap(t, dir, g, Options{Sync: SyncNever, SegmentBytes: 1})
+	store.SetDurability(l)
+	apply := func(i int) {
+		p := 0.1 + float64(i)*0.1
+		if _, err := store.Apply(graph.Delta{Source: "amigo", Ops: []graph.Op{
+			{Kind: graph.OpSetNodeP, Node: graph.NodeRef{Kind: "G", Label: "g1"}, P: p},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		apply(i)
+	}
+	// Checkpoint at the live position (seq 4), then two more deltas.
+	var cp *Checkpoint
+	store.ViewAt(func(g *graph.Graph, seq uint64) {
+		if seq != 4 {
+			t.Fatalf("seq = %d, want 4", seq)
+		}
+		var err error
+		cp, err = CaptureCheckpoint(g, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if _, err := WriteCheckpoint(nil, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		apply(i)
+	}
+	if st := l.Stats(); st.Rotations != 5 {
+		t.Errorf("rotations = %d, want 5", st.Rotations)
+	}
+	removed, err := l.PruneBefore(cp.Seq + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4 {
+		t.Errorf("pruned %d segments, want 4", removed)
+	}
+	l.Close()
+	var want string
+	store.View(func(g *graph.Graph) { want = graphFingerprint(t, g) })
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := graphFingerprint(t, rec.Graph); got != want || rec.Seq != 6 {
+		t.Errorf("post-prune recovery: seq %d, identical %v", rec.Seq, got == want)
+	}
+}
+
+func TestSequenceGapRefused(t *testing.T) {
+	dir := t.TempDir()
+	g := testBase(t)
+	store := graph.NewStore(g)
+	l := bootstrap(t, dir, g, Options{Sync: SyncNever, SegmentBytes: 1})
+	store.SetDurability(l)
+	for i := 0; i < 4; i++ {
+		if _, err := store.Apply(graph.Delta{Source: "amigo", Ops: []graph.Op{
+			{Kind: graph.OpSetNodeP, Node: graph.NodeRef{Kind: "G", Label: "g1"}, P: 0.1 + float64(i)*0.1},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Delete a middle segment: the gap must be refused, not glossed over.
+	if err := os.Remove(filepath.Join(dir, segmentName(2))); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptionError
+	if _, err := Recover(dir, nil); !errors.As(err, &ce) {
+		t.Fatalf("Recover = %v, want *CorruptionError", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy(sometimes) should fail")
+	}
+}
+
+func TestAppendAfterBrokenRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	l.broken = errors.New("injected")
+	l.mu.Unlock()
+	if err := l.Append(1, 0, testDeltas()[0]); err == nil {
+		t.Fatal("Append on a broken log should fail")
+	}
+}
+
+func TestNonContiguousAppendRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	d := testDeltas()[0]
+	if err := l.Append(1, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(3, 1, d); err == nil {
+		t.Fatal("gap append should fail")
+	}
+}

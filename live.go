@@ -134,6 +134,8 @@ type liveState struct {
 	// accessionKeywords inverts it: the keywords whose answer sets depend
 	// on a protein accession.
 	accessionKeywords map[string][]string
+	// dur is non-nil when the store writes ahead to a WAL (durability.go).
+	dur *durable
 }
 
 // resolve carves the keyword's pruned query graph out of a live snapshot
@@ -198,18 +200,7 @@ func (s *System) EnableLive() error {
 		keywordAccessions: make(map[string]map[string]bool, len(keywords)),
 		accessionKeywords: make(map[string][]string),
 	}
-	for _, kw := range keywords {
-		accs := s.med.Accessions(kw)
-		if len(accs) == 0 {
-			continue
-		}
-		set := make(map[string]bool, len(accs))
-		for _, a := range accs {
-			set[a] = true
-			ls.accessionKeywords[a] = append(ls.accessionKeywords[a], kw)
-		}
-		ls.keywordAccessions[kw] = set
-	}
+	s.indexKeywords(ls)
 	s.live.Store(ls)
 	return nil
 }
@@ -266,7 +257,12 @@ func (s *System) Ingest(deltas ...IngestDelta) (IngestResult, error) {
 			}
 		}
 	}
-	return s.finishIngest(ls, out, affected), nil
+	res := s.finishIngest(ls, out, affected)
+	// Automatic checkpoint policy (durable live mode only): runs after
+	// the batches are applied and acknowledged, so a checkpoint failure
+	// can never un-acknowledge an ingest.
+	s.maybeCheckpoint(ls)
+	return res, nil
 }
 
 // finishIngest folds the affected-keyword set into the result and
